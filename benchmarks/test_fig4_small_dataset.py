@@ -1,0 +1,35 @@
+"""Figure 4 — speedup over CUDA-DClust+ on varying ε (16 K 3DRoad points).
+
+Paper shape: on the small dataset all four GPU implementations fit in memory;
+RT-DBSCAN is fastest in most configurations but its margin over FDBSCAN is
+small (the ray-tracing setup cost is not amortised), while G-DBSCAN and
+CUDA-DClust+ trail because of adjacency-list traversal and index-structure
+costs respectively.
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+def test_fig4_speedup_over_cuda_dclust(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("fig4"), rounds=1, iterations=1
+    )
+    print_experiment_report("fig4", records)
+
+    rt = ok_records(records, "rt-dbscan")
+    fdb = ok_records(records, "fdbscan")
+    dclust = ok_records(records, "cuda-dclust+")
+    gdb = ok_records(records, "g-dbscan")
+    assert rt and fdb and dclust and gdb
+
+    # Every algorithm fits in device memory at this size (paper Section V-B1).
+    assert all(r.status == "ok" for r in records)
+
+    # RT-DBSCAN and FDBSCAN both beat CUDA-DClust+ at the larger eps values.
+    for fast in (rt, fdb):
+        assert fast[-1].simulated_seconds < dclust[-1].simulated_seconds
+
+    # G-DBSCAN's all-pairs graph construction makes it the slowest overall.
+    assert gdb[-1].simulated_seconds > dclust[-1].simulated_seconds

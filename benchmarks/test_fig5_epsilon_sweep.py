@@ -1,0 +1,36 @@
+"""Figure 5 — speedup over FDBSCAN on varying ε (3DRoad, Porto, 3DIono).
+
+Paper shape: RT-DBSCAN beats FDBSCAN at every ε, and the speedup grows with
+ε because larger neighbourhoods mean more BVH traversal and more intersection
+tests — exactly the work the RT cores accelerate.  Maxima reported by the
+paper: 1.5x (3DRoad), 2.3x (Porto), 3.6x (3DIono).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+from repro.bench.runner import speedup_series
+
+
+@pytest.mark.parametrize("exp_id", ["fig5a", "fig5b", "fig5c"])
+def test_fig5_speedup_grows_with_eps(benchmark, exp_id):
+    records = benchmark.pedantic(
+        lambda: execute_experiment(exp_id), rounds=1, iterations=1
+    )
+    print_experiment_report(exp_id, records)
+
+    series = speedup_series(records, baseline="fdbscan", target="rt-dbscan", key="eps")
+    series.sort(key=lambda s: s["eps"])
+    speedups = [s["speedup"] for s in series]
+    assert len(speedups) == 5
+
+    # RT-DBSCAN wins at the larger eps values...
+    assert speedups[-1] > 1.0
+    assert speedups[-2] > 1.0
+    # ...and the advantage grows with eps.
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] == max(speedups)
+    # Clusters actually form in this regime.
+    assert any(r.num_clusters > 0 for r in ok_records(records, "rt-dbscan"))

@@ -1,0 +1,33 @@
+"""Figure 6 — speedup over FDBSCAN on varying dataset size (3DRoad, Porto, 3DIono).
+
+Paper shape: RT-DBSCAN outperforms FDBSCAN at every size and the gap widens
+as the dataset grows, because the fixed cost of setting up the RT pipeline is
+amortised and the RT cores are built to handle large ray counts.  Maxima
+reported by the paper: 1.37x (3DRoad), 2.9x (Porto), 4.1x (3DIono).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import execute_experiment, print_experiment_report
+
+from repro.bench.runner import speedup_series
+
+
+@pytest.mark.parametrize("exp_id", ["fig6a", "fig6b", "fig6c"])
+def test_fig6_speedup_grows_with_size(benchmark, exp_id):
+    records = benchmark.pedantic(
+        lambda: execute_experiment(exp_id), rounds=1, iterations=1
+    )
+    print_experiment_report(exp_id, records)
+
+    series = speedup_series(
+        records, baseline="fdbscan", target="rt-dbscan", key="num_points"
+    )
+    series.sort(key=lambda s: s["num_points"])
+    speedups = [s["speedup"] for s in series]
+
+    # RT-DBSCAN wins at the largest sizes and the gap widens with size.
+    assert speedups[-1] > 1.0
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] == max(speedups)

@@ -1,0 +1,32 @@
+"""Figure 7 — execution-time growth with dataset size on 3DIono.
+
+Paper shape: both curves grow with the dataset size, but RT-DBSCAN's growth
+rate is visibly slower than FDBSCAN's, i.e. the ratio of FDBSCAN time to
+RT-DBSCAN time increases with n.
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+def test_fig7_growth_rate(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("fig7"), rounds=1, iterations=1
+    )
+    print_experiment_report("fig7", records)
+
+    rt = sorted(ok_records(records, "rt-dbscan"), key=lambda r: r.num_points)
+    fdb = sorted(ok_records(records, "fdbscan"), key=lambda r: r.num_points)
+    assert len(rt) == len(fdb) >= 3
+
+    # Times grow with dataset size for both algorithms.
+    rt_times = [r.simulated_seconds for r in rt]
+    fdb_times = [r.simulated_seconds for r in fdb]
+    assert rt_times == sorted(rt_times)
+    assert fdb_times == sorted(fdb_times)
+
+    # FDBSCAN grows faster: its largest/smallest ratio exceeds RT-DBSCAN's.
+    fdb_growth = fdb_times[-1] / fdb_times[0]
+    rt_growth = rt_times[-1] / rt_times[0]
+    assert fdb_growth > rt_growth

@@ -1,0 +1,39 @@
+"""Figure 9 — impact of FDBSCAN's early traversal termination.
+
+Paper shape: the early-exit optimisation always helps FDBSCAN (it can only
+remove work), dramatically so when minPts is small; on Porto it makes
+FDBSCAN-EarlyExit the fastest implementation at large sizes, while on 3DRoad
+and NGSIM RT-DBSCAN remains ahead of both FDBSCAN variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+@pytest.mark.parametrize("exp_id", ["fig9a", "fig9b", "fig9c"])
+def test_fig9_early_exit(benchmark, exp_id):
+    records = benchmark.pedantic(
+        lambda: execute_experiment(exp_id), rounds=1, iterations=1
+    )
+    print_experiment_report(exp_id, records)
+
+    fdb = sorted(ok_records(records, "fdbscan"), key=lambda r: r.num_points)
+    early = sorted(ok_records(records, "fdbscan-earlyexit"), key=lambda r: r.num_points)
+    rt = sorted(ok_records(records, "rt-dbscan"), key=lambda r: r.num_points)
+    assert len(fdb) == len(early) == len(rt)
+
+    # Early exit never makes FDBSCAN slower.
+    for plain, ee in zip(fdb, early):
+        assert ee.simulated_seconds <= plain.simulated_seconds + 1e-12
+
+    # Labelling is unaffected by the optimisation.
+    for plain, ee in zip(fdb, early):
+        assert plain.num_clusters == ee.num_clusters
+        assert plain.num_noise == ee.num_noise
+
+    if exp_id in ("fig9b", "fig9c"):
+        # On 3DRoad and NGSIM, RT-DBSCAN beats FDBSCAN-EarlyExit at the
+        # largest dataset size (paper Section VI-B).
+        assert rt[-1].simulated_seconds < early[-1].simulated_seconds

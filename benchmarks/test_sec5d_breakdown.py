@@ -1,0 +1,49 @@
+"""Section V-D — runtime breakdown of RT-DBSCAN vs FDBSCAN (3DIono).
+
+Paper shape (1 M 3DIono points, ε = 0.25, minPts = 100):
+
+* the OptiX sphere-BVH build is ~2.5x more expensive than FDBSCAN's plain
+  spatial build;
+* the two clustering stages run ~9x faster on the RT device;
+* as a consequence RT-DBSCAN spends roughly half of its total time on the
+  BVH build, while FDBSCAN spends ~94% of its time on clustering.
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+def _clustering_seconds(record) -> float:
+    return (
+        record.breakdown["core_identification"] + record.breakdown["cluster_formation"]
+    )
+
+
+def test_sec5d_breakdown(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("sec5d"), rounds=1, iterations=1
+    )
+    print_experiment_report("sec5d", records)
+
+    rt = ok_records(records, "rt-dbscan")[-1]
+    fdb = ok_records(records, "fdbscan")[-1]
+
+    # BVH build: RT (OptiX-style) build costs more than the plain build
+    # (~2.5x asymptotically; at reduced benchmark scale the fixed pipeline
+    # setup inflates the ratio, so the accepted band is wider).
+    build_ratio = rt.breakdown["bvh_build"] / fdb.breakdown["bvh_build"]
+    assert 1.5 <= build_ratio <= 6.5
+
+    # Clustering stages are several times faster on the RT device.
+    clustering_speedup = _clustering_seconds(fdb) / _clustering_seconds(rt)
+    assert clustering_speedup > 3.0
+
+    # FDBSCAN's runtime is dominated by clustering work (paper: ~94%).
+    fdb_fraction = _clustering_seconds(fdb) / fdb.simulated_seconds
+    assert fdb_fraction > 0.85
+
+    # RT-DBSCAN spends a much larger share of its time on the BVH build.
+    rt_build_fraction = rt.breakdown["bvh_build"] / rt.simulated_seconds
+    fdb_build_fraction = fdb.breakdown["bvh_build"] / fdb.simulated_seconds
+    assert rt_build_fraction > 3 * fdb_build_fraction

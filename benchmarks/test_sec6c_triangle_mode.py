@@ -1,0 +1,31 @@
+"""Section VI-C — tessellating the ε-spheres into triangles.
+
+Paper shape: replacing the custom sphere Intersection program with triangle
+geometry (so the "hardware" ray-triangle test is used) slows RT-DBSCAN down
+by 2x-5x, because every hit must be routed through the AnyHit program and the
+scene has many more primitives.  The clustering output is unchanged.
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+def test_sec6c_triangle_mode_slowdown(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("sec6c"), rounds=1, iterations=1
+    )
+    print_experiment_report("sec6c", records)
+
+    sphere = ok_records(records, "rt-dbscan")[-1]
+    triangle = ok_records(records, "rt-dbscan-triangles")[-1]
+
+    slowdown = triangle.simulated_seconds / sphere.simulated_seconds
+    # Triangle mode is substantially slower, in the 2x-8x band (the paper
+    # reports 2x-5x on real hardware).
+    assert slowdown > 1.5
+    assert slowdown < 10.0
+
+    # The clustering result itself is identical.
+    assert triangle.num_clusters == sphere.num_clusters
+    assert triangle.num_noise == sphere.num_noise

@@ -1,0 +1,35 @@
+"""Table III / Figure 8b — NGSIM raw times and speedup on varying dataset size.
+
+Paper shape: execution time grows with the dataset size for both algorithms
+and RT-DBSCAN wins by a very large margin at every size.  The analytic model
+reproduces the growth and gives RT-DBSCAN the win once the dataset is large
+enough to amortise the RT pipeline setup; the paper's extreme (10^3x-scale)
+margins stem from hardware BVH behaviour on this degenerate input that the
+authors themselves could not fully explain (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+
+def test_table3_ngsim_size_sweep(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("table3"), rounds=1, iterations=1
+    )
+    print_experiment_report("table3", records)
+
+    rt = sorted(ok_records(records, "rt-dbscan"), key=lambda r: r.num_points)
+    fdb = sorted(ok_records(records, "fdbscan"), key=lambda r: r.num_points)
+    assert [r.num_points for r in rt] == [r.num_points for r in fdb]
+
+    # Zero clusters at every size (paper Section V-C).
+    assert all(r.num_clusters == 0 for r in rt + fdb)
+
+    # Execution time grows with size for both algorithms.
+    assert [r.simulated_seconds for r in rt] == sorted(r.simulated_seconds for r in rt)
+    assert [r.simulated_seconds for r in fdb] == sorted(r.simulated_seconds for r in fdb)
+
+    # RT-DBSCAN's advantage improves as the dataset grows (setup amortised).
+    ratios = [f.simulated_seconds / r.simulated_seconds for r, f in zip(rt, fdb)]
+    assert ratios[-1] > ratios[0]

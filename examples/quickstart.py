@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: cluster a synthetic point cloud with RT-DBSCAN.
+
+Demonstrates the smallest possible end-to-end use of the library:
+
+1. generate a 2D dataset (Gaussian blobs plus background noise);
+2. pick ε with the k-distance heuristic;
+3. run RT-DBSCAN on the simulated RT device;
+4. verify the result against the sequential reference implementation;
+5. print the clustering summary and the Section V-D style phase breakdown.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import classic_dbscan, rt_dbscan
+from repro.data import make_blobs, make_uniform_noise
+from repro.metrics import compare_results
+from repro.neighbors import suggest_eps
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build a dataset: four clusters of different densities plus noise.
+    # ------------------------------------------------------------------ #
+    rng = np.random.default_rng(42)
+    clusters, _ = make_blobs(
+        4_000,
+        centers=np.array([[0.0, 0.0], [6.0, 1.0], [3.0, 6.0], [-4.0, 5.0]]),
+        std=np.array([0.30, 0.45, 0.25, 0.60]),
+        seed=rng,
+    )
+    noise = make_uniform_noise(400, low=-8.0, high=10.0, dim=2, seed=rng)
+    points = np.vstack([clusters, noise])
+    print(f"dataset: {len(points)} points in {points.shape[1]}D")
+
+    # ------------------------------------------------------------------ #
+    # 2. Choose parameters.  minPts is picked by hand; eps comes from the
+    #    k-distance heuristic so most cluster points become core points.
+    # ------------------------------------------------------------------ #
+    min_pts = 10
+    eps = suggest_eps(points, min_pts=min_pts, quantile=0.90)
+    print(f"parameters: eps={eps:.3f}  minPts={min_pts}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Cluster with RT-DBSCAN (Algorithm 3 on the simulated RT device).
+    # ------------------------------------------------------------------ #
+    result = rt_dbscan(points, eps=eps, min_pts=min_pts)
+    print(f"\nRT-DBSCAN found {result.num_clusters} clusters, "
+          f"{result.num_noise} noise points "
+          f"({int(result.core_mask.sum())} core / {int(result.border_mask.sum())} border)")
+    print("cluster sizes:", result.cluster_sizes().tolist())
+
+    # ------------------------------------------------------------------ #
+    # 4. Verify against the sequential oracle (Algorithm 1).
+    # ------------------------------------------------------------------ #
+    reference = classic_dbscan(points, eps=eps, min_pts=min_pts)
+    agreement = compare_results(reference, result, points=points)
+    print(f"\nagreement with sequential DBSCAN: equivalent={agreement.equivalent} "
+          f"(ARI={agreement.ari:.4f})")
+
+    # ------------------------------------------------------------------ #
+    # 5. Inspect where the simulated device spent its time.
+    # ------------------------------------------------------------------ #
+    print("\nsimulated device time breakdown:")
+    total = result.report.total_simulated_seconds
+    for phase in result.report.phases:
+        share = 100.0 * phase.simulated_seconds / total if total else 0.0
+        print(f"  {phase.name:<22} {phase.simulated_seconds * 1e3:8.3f} ms  ({share:5.1f}%)")
+    print(f"  {'total':<22} {total * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

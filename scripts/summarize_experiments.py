@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run every registered experiment and print a compact paper-vs-measured summary.
+
+Used to fill in EXPERIMENTS.md.  Scale defaults to the benchmark default
+(0.5x the already-scaled experiment sizes); pass a float argument to change it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.runner import speedup_series
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    for exp_id, spec in EXPERIMENTS.items():
+        records = run_experiment(exp_id, scale=scale)
+        vary = "eps" if spec.mode == "eps_sweep" else "num_points"
+        print(f"\n### {exp_id} ({spec.paper_ref}) dataset={spec.dataset} minPts={spec.min_pts} scale={scale}")
+        for target in [a for a in spec.algorithms if a != spec.baseline]:
+            series = speedup_series(records, baseline=spec.baseline, target=target, key=vary)
+            series.sort(key=lambda s: s[vary])
+            parts = [f"{s[vary]:g}:{s['speedup']:.2f}x" for s in series]
+            print(f"  {target} vs {spec.baseline}: " + "  ".join(parts))
+        for r in records:
+            if r.status != "ok":
+                print(f"  {r.algorithm} n={r.num_points} eps={r.eps:g}: {r.status.upper()}")
+        if spec.mode == "breakdown":
+            for r in records:
+                if r.status == "ok":
+                    total = r.simulated_seconds
+                    bd = ", ".join(f"{k}={v*1e3:.3f}ms({100*v/total:.0f}%)" for k, v in r.breakdown.items())
+                    print(f"  {r.algorithm}: total={total*1e3:.3f}ms  {bd}")
+
+
+if __name__ == "__main__":
+    main()

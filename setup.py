@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment this reproduction targets has no network access and an older
+setuptools without PEP 660 editable-wheel support, so ``pip install -e .``
+falls back to the legacy ``setup.py develop`` path provided here.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

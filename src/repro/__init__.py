@@ -1,0 +1,57 @@
+"""repro — a reproduction of RT-DBSCAN (Nagarajan & Kulkarni, IPDPS 2023).
+
+RT-DBSCAN accelerates DBSCAN's fixed-radius neighbour searches by reducing
+them to ray-tracing queries executed on GPU RT cores.  This package rebuilds
+the complete system in Python on top of a *simulated* RT device:
+
+* :mod:`repro.geometry` / :mod:`repro.bvh` — the spatial substrate (AABBs,
+  spheres, Morton codes, LBVH/SAH builders, batched traversal);
+* :mod:`repro.rtcore`  — the simulated RT-capable GPU and its OptiX/OWL-style
+  programming model;
+* :mod:`repro.neighbors` — RT-FindNeighborhood (the paper's Algorithm 2) plus
+  reference searches;
+* :mod:`repro.dbscan`  — RT-DBSCAN (Algorithm 3) and the sequential oracle;
+* :mod:`repro.baselines` — the GPU comparators (FDBSCAN, G-DBSCAN,
+  CUDA-DClust+);
+* :mod:`repro.data`    — synthetic equivalents of the paper's datasets;
+* :mod:`repro.perf` / :mod:`repro.metrics` / :mod:`repro.bench` — cost model,
+  agreement metrics and the per-figure benchmark harness.
+
+Quickstart
+----------
+>>> from repro import rt_dbscan
+>>> from repro.data import make_blobs
+>>> points, _ = make_blobs(2000, centers=4, std=0.2, seed=7)
+>>> result = rt_dbscan(points, eps=0.3, min_pts=10)
+>>> result.num_clusters
+4
+"""
+
+from .baselines import CUDADClustPlus, FDBSCAN, GDBSCAN, cuda_dclust_plus, fdbscan, gdbscan
+from .dbscan import RTDBSCAN, DBSCANParams, DBSCANResult, classic_dbscan, rt_dbscan
+from .neighbors import RTNeighborFinder, rt_find_neighbors
+from .perf import DEFAULT_COST_MODEL, DeviceCostModel
+from .rtcore import RTDevice, owl_context_create
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CUDADClustPlus",
+    "FDBSCAN",
+    "GDBSCAN",
+    "cuda_dclust_plus",
+    "fdbscan",
+    "gdbscan",
+    "RTDBSCAN",
+    "DBSCANParams",
+    "DBSCANResult",
+    "classic_dbscan",
+    "rt_dbscan",
+    "RTNeighborFinder",
+    "rt_find_neighbors",
+    "DEFAULT_COST_MODEL",
+    "DeviceCostModel",
+    "RTDevice",
+    "owl_context_create",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment registry, sweep runner and report formatting.
+
+One registered experiment per table/figure of the paper's evaluation section;
+see DESIGN.md for the experiment index and EXPERIMENTS.md for paper-vs-
+measured results.
+"""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from .report import format_breakdown, format_records, format_speedup_table, format_time_table
+from .runner import ALGORITHMS, RunRecord, run_single, run_sweep, speedup_series
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "format_breakdown",
+    "format_records",
+    "format_speedup_table",
+    "format_time_table",
+    "ALGORITHMS",
+    "RunRecord",
+    "run_single",
+    "run_sweep",
+    "speedup_series",
+]

@@ -1,0 +1,365 @@
+"""Experiment registry — one entry per table/figure of the paper.
+
+Every experiment the paper reports is described by an :class:`ExperimentSpec`
+that records the paper's configuration (dataset, sizes, ε values, minPts,
+algorithms compared) and the *scaled* configuration the reproduction actually
+runs.  Scaling is necessary because the substrate here is an instrumented
+Python simulator rather than an RTX 2060: dataset sizes are reduced by a
+documented factor and ε values are re-derived from the synthetic datasets'
+density (using the k-distance heuristic) so that the neighbourhood-size
+regimes match the paper's.  EXPERIMENTS.md records the mapping and the
+paper-vs-measured comparison for every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.registry import generate
+from ..neighbors.knn import kth_neighbor_distances
+from .runner import RunRecord, run_sweep
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one paper experiment and its scaled reproduction."""
+
+    id: str
+    paper_ref: str
+    title: str
+    dataset: str
+    mode: str  # "eps_sweep" | "size_sweep" | "breakdown" | "triangle_mode"
+    algorithms: tuple[str, ...]
+    baseline: str
+    min_pts: int
+    #: sizes the paper ran (for documentation).
+    paper_sizes: tuple[int, ...]
+    #: sizes the scaled reproduction runs by default.
+    sizes: tuple[int, ...]
+    #: ε multipliers applied to the calibrated reference ε (eps sweeps), or a
+    #: single-element tuple for fixed-ε experiments.
+    eps_factors: tuple[float, ...] = (1.0,)
+    #: quantile used by the k-distance ε calibration; lower values give a
+    #: sparser clustering regime.
+    eps_quantile: float = 0.30
+    #: absolute ε override (used for the NGSIM zero-cluster regime).
+    eps_absolute: tuple[float, ...] | None = None
+    seed: int = 2023
+    description: str = ""
+    notes: str = ""
+    extra: dict = field(default_factory=dict, hash=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    def reference_size(self) -> int:
+        return max(self.sizes)
+
+    def calibrate_eps(self, points: np.ndarray) -> float:
+        """Reference ε from the k-distance heuristic on the given points."""
+        k = min(self.min_pts, points.shape[0] - 1)
+        dists = kth_neighbor_distances(points, k)
+        return float(np.quantile(dists, self.eps_quantile))
+
+    def eps_values(self, points: np.ndarray) -> list[float]:
+        """Concrete ε values for this experiment on the given points."""
+        if self.eps_absolute is not None:
+            return [float(e) for e in self.eps_absolute]
+        ref = self.calibrate_eps(points)
+        return [ref * f for f in self.eps_factors]
+
+    def build_configs(self, *, scale: float = 1.0) -> list[tuple[str, np.ndarray, float, int]]:
+        """Materialise the (label, points, eps, min_pts) configurations."""
+        sizes = [max(256, int(round(s * scale))) for s in self.sizes]
+        largest = generate(self.dataset, max(sizes), seed=self.seed)
+        configs: list[tuple[str, np.ndarray, float, int]] = []
+        if self.mode == "eps_sweep":
+            pts = largest
+            for eps in self.eps_values(pts):
+                configs.append((self.dataset, pts, eps, self.min_pts))
+        elif self.mode in ("size_sweep", "breakdown", "triangle_mode"):
+            eps_list = self.eps_values(largest)
+            eps = eps_list[0]
+            for n in sizes:
+                configs.append((self.dataset, largest[:n], eps, self.min_pts))
+        else:
+            raise ValueError(f"unknown experiment mode {self.mode!r}")
+        return configs
+
+
+# -------------------------------------------------------------------------- #
+# The registry: one entry per table / figure in the evaluation section.
+# -------------------------------------------------------------------------- #
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> ExperimentSpec:
+    EXPERIMENTS[spec.id] = spec
+    return spec
+
+
+_register(ExperimentSpec(
+    id="fig4",
+    paper_ref="Figure 4",
+    title="Speedup over CUDA-DClust+ on varying eps (16K 3DRoad points)",
+    dataset="3droad",
+    mode="eps_sweep",
+    algorithms=("cuda-dclust+", "g-dbscan", "fdbscan", "rt-dbscan"),
+    baseline="cuda-dclust+",
+    min_pts=100,
+    paper_sizes=(16_000,),
+    sizes=(16_000,),
+    eps_factors=(0.5, 0.75, 1.0, 1.5, 2.0),
+    description="All four GPU implementations on the small dataset where the "
+                "memory-hungry baselines still fit on the device.",
+))
+
+_register(ExperimentSpec(
+    id="fig5a",
+    paper_ref="Figure 5a",
+    title="Speedup over FDBSCAN on varying eps (3DRoad)",
+    dataset="3droad",
+    mode="eps_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(400_000,),
+    sizes=(24_000,),
+    eps_factors=(0.5, 0.75, 1.0, 1.5, 2.0),
+    description="Paper observes up to 1.5x on 3DRoad (BVH build dominates the small dataset).",
+))
+
+_register(ExperimentSpec(
+    id="fig5b",
+    paper_ref="Figure 5b",
+    title="Speedup over FDBSCAN on varying eps (Porto)",
+    dataset="porto",
+    mode="eps_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(1_000_000,),
+    sizes=(32_000,),
+    eps_factors=(0.5, 0.75, 1.0, 1.5, 2.0),
+    description="Paper observes up to 2.3x, increasing with eps.",
+))
+
+_register(ExperimentSpec(
+    id="fig5c",
+    paper_ref="Figure 5c",
+    title="Speedup over FDBSCAN on varying eps (3DIono)",
+    dataset="3diono",
+    mode="eps_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(1_000_000,),
+    sizes=(32_000,),
+    eps_factors=(0.5, 0.75, 1.0, 1.5, 2.0),
+    description="Paper observes up to 3.6x, increasing with eps.",
+))
+
+_register(ExperimentSpec(
+    id="fig6a",
+    paper_ref="Figure 6a",
+    title="Speedup over FDBSCAN on varying dataset size (3DRoad)",
+    dataset="3droad",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(50_000, 100_000, 200_000, 400_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    eps_quantile=0.30,
+    description="Paper observes a maximum of 1.37x on this relatively small dataset.",
+))
+
+_register(ExperimentSpec(
+    id="fig6b",
+    paper_ref="Figure 6b",
+    title="Speedup over FDBSCAN on varying dataset size (Porto)",
+    dataset="porto",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    description="Paper observes up to 2.9x at the largest sizes (paper minPts=1000 at 1M+ points).",
+))
+
+_register(ExperimentSpec(
+    id="fig6c",
+    paper_ref="Figure 6c",
+    title="Speedup over FDBSCAN on varying dataset size (3DIono)",
+    dataset="3diono",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=10,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    description="Paper observes up to 4.1x at the largest sizes.",
+))
+
+_register(ExperimentSpec(
+    id="fig7",
+    paper_ref="Figure 7",
+    title="Execution-time growth with dataset size (3DIono)",
+    dataset="3diono",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=10,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    description="Raw execution times; RT-DBSCAN's growth rate must be visibly slower.",
+))
+
+_register(ExperimentSpec(
+    id="table1",
+    paper_ref="Table I",
+    title="Raw execution time on Porto, varying dataset size",
+    dataset="porto",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    description="Paper: FDBSCAN 539.85s..282047s vs RT-DBSCAN 200.82s..96333s (2.7x-2.9x).",
+))
+
+_register(ExperimentSpec(
+    id="table2",
+    paper_ref="Table II / Figure 8a",
+    title="Raw execution time and speedup on NGSIM, varying eps (dense, zero clusters)",
+    dataset="ngsim",
+    mode="eps_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(1_000_000,),
+    sizes=(64_000,),
+    eps_absolute=(0.0001, 0.00025, 0.0005, 0.00075, 0.001),
+    description="Zero clusters form; the paper measures ~2500x, dominated by hardware effects "
+                "our analytic model reproduces only in direction (RT-DBSCAN wins), not magnitude.",
+))
+
+_register(ExperimentSpec(
+    id="table3",
+    paper_ref="Table III / Figure 8b",
+    title="Raw execution time and speedup on NGSIM, varying dataset size",
+    dataset="ngsim",
+    mode="size_sweep",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(8_000, 16_000, 32_000, 64_000),
+    eps_absolute=(0.0005,),
+    description="Paper: FDBSCAN 12.7s..6964s vs RT-DBSCAN 0.03s..1.26s.",
+))
+
+_register(ExperimentSpec(
+    id="fig9a",
+    paper_ref="Figure 9a",
+    title="Early-exit impact on Porto (execution time vs dataset size)",
+    dataset="porto",
+    mode="size_sweep",
+    algorithms=("fdbscan", "fdbscan-earlyexit", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=20,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    eps_quantile=0.6,
+    description="Paper: early exit helps FDBSCAN by ~3x on Porto and beats RT-DBSCAN by ~1.5x "
+                "at large sizes (small minPts lets traversal stop very early).",
+))
+
+_register(ExperimentSpec(
+    id="fig9b",
+    paper_ref="Figure 9b",
+    title="Early-exit impact on 3DRoad (execution time vs dataset size)",
+    dataset="3droad",
+    mode="size_sweep",
+    algorithms=("fdbscan", "fdbscan-earlyexit", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(50_000, 100_000, 200_000, 400_000),
+    sizes=(4_000, 8_000, 16_000, 32_000),
+    description="Paper: RT-DBSCAN outperforms FDBSCAN-EarlyExit on 3DRoad.",
+))
+
+_register(ExperimentSpec(
+    id="fig9c",
+    paper_ref="Figure 9c",
+    title="Early-exit impact on NGSIM (execution time vs dataset size)",
+    dataset="ngsim",
+    mode="size_sweep",
+    algorithms=("fdbscan", "fdbscan-earlyexit", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000),
+    sizes=(8_000, 16_000, 32_000, 64_000),
+    eps_absolute=(0.0005,),
+    description="Paper: RT-DBSCAN vastly outperforms both FDBSCAN variants on NGSIM.",
+))
+
+_register(ExperimentSpec(
+    id="sec5d",
+    paper_ref="Section V-D",
+    title="Runtime breakdown: BVH build vs clustering stages (3DIono)",
+    dataset="3diono",
+    mode="breakdown",
+    algorithms=("fdbscan", "rt-dbscan"),
+    baseline="fdbscan",
+    min_pts=100,
+    paper_sizes=(1_000_000,),
+    sizes=(32_000,),
+    eps_quantile=0.30,
+    description="Paper: RT-DBSCAN spends ~48% of its time on clustering (build-dominated) while "
+                "FDBSCAN spends ~94%; clustering phases are ~9x faster on the RT device.",
+))
+
+_register(ExperimentSpec(
+    id="sec6c",
+    paper_ref="Section VI-C",
+    title="Triangle-tessellated spheres vs custom sphere Intersection program",
+    dataset="porto",
+    mode="triangle_mode",
+    algorithms=("rt-dbscan", "rt-dbscan-triangles"),
+    baseline="rt-dbscan",
+    min_pts=50,
+    paper_sizes=(1_000_000,),
+    sizes=(4_000,),
+    eps_quantile=0.30,
+    description="Paper: approximating spheres with triangles is 2x-5x slower because every hit "
+                "must be routed through the AnyHit program.",
+))
+
+
+# -------------------------------------------------------------------------- #
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    key = exp_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> list[str]:
+    """Ids of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    exp_id: str, *, scale: float = 1.0, algorithms: list[str] | None = None, **kwargs
+) -> list[RunRecord]:
+    """Run every configuration of one experiment and return the records."""
+    spec = get_experiment(exp_id)
+    configs = spec.build_configs(scale=scale)
+    algos = list(algorithms) if algorithms is not None else list(spec.algorithms)
+    return run_sweep(algos, configs, **kwargs)

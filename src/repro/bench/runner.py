@@ -1,0 +1,209 @@
+"""Benchmark runner.
+
+Runs a named algorithm on a point set with given (ε, minPts), catches the
+simulated out-of-memory condition the way the paper reports it for the
+baselines, and returns a flat :class:`RunRecord` the report formatters and
+the pytest benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.cuda_dclust import CUDADClustPlus
+from ..baselines.fdbscan import FDBSCAN
+from ..baselines.gdbscan import GDBSCAN
+from ..dbscan.classic import classic_dbscan
+from ..dbscan.params import DBSCANResult
+from ..dbscan.rt_dbscan import RTDBSCAN
+from ..perf.cost_model import DeviceCostModel
+from ..perf.memory import DeviceMemoryError
+from ..rtcore.device import RTDevice
+
+__all__ = ["RunRecord", "ALGORITHMS", "run_single", "run_sweep", "speedup_series"]
+
+
+#: Algorithm name -> factory(eps, min_pts, device, **kwargs) -> clusterer with .fit()
+ALGORITHMS: dict[str, Callable] = {
+    "rt-dbscan": lambda eps, min_pts, device, **kw: RTDBSCAN(
+        eps=eps, min_pts=min_pts, device=device, **kw
+    ),
+    "rt-dbscan-triangles": lambda eps, min_pts, device, **kw: RTDBSCAN(
+        eps=eps, min_pts=min_pts, device=device, triangle_mode=True, **kw
+    ),
+    "fdbscan": lambda eps, min_pts, device, **kw: FDBSCAN(
+        eps=eps, min_pts=min_pts, device=device, **kw
+    ),
+    "fdbscan-earlyexit": lambda eps, min_pts, device, **kw: FDBSCAN(
+        eps=eps, min_pts=min_pts, device=device, early_exit=True, **kw
+    ),
+    "g-dbscan": lambda eps, min_pts, device, **kw: GDBSCAN(
+        eps=eps, min_pts=min_pts, device=device, **kw
+    ),
+    "cuda-dclust+": lambda eps, min_pts, device, **kw: CUDADClustPlus(
+        eps=eps, min_pts=min_pts, device=device, **kw
+    ),
+}
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, dataset configuration) execution."""
+
+    algorithm: str
+    dataset: str
+    num_points: int
+    eps: float
+    min_pts: int
+    status: str = "ok"  # "ok" | "oom" | "error"
+    simulated_seconds: float = float("nan")
+    wall_seconds: float = float("nan")
+    num_clusters: int = -1
+    num_noise: int = -1
+    num_core: int = -1
+    breakdown: dict = field(default_factory=dict)
+    error: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "num_points": self.num_points,
+            "eps": self.eps,
+            "min_pts": self.min_pts,
+            "status": self.status,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "num_clusters": self.num_clusters,
+            "num_noise": self.num_noise,
+            "num_core": self.num_core,
+            "breakdown": dict(self.breakdown),
+            "error": self.error,
+        }
+
+
+def run_single(
+    algorithm: str,
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    dataset: str = "unknown",
+    cost_model: DeviceCostModel | None = None,
+    **kwargs,
+) -> RunRecord:
+    """Run one algorithm on one configuration and return its record.
+
+    Out-of-memory conditions on the simulated device are reported as
+    ``status="oom"`` rather than raised, because the paper treats them as
+    data points ("G-DBSCAN and CUDA-DClust+ ran out of memory beyond 100 K
+    points"), not as failures of the harness.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    record = RunRecord(
+        algorithm=algorithm,
+        dataset=dataset,
+        num_points=points.shape[0],
+        eps=float(eps),
+        min_pts=int(min_pts),
+    )
+    if algorithm == "classic":
+        start = time.perf_counter()
+        result = classic_dbscan(points, eps, min_pts)
+        record.wall_seconds = time.perf_counter() - start
+        record.simulated_seconds = record.wall_seconds
+        _fill_from_result(record, result)
+        return record
+
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}")
+
+    device = RTDevice(cost_model=cost_model) if cost_model is not None else RTDevice()
+    clusterer = ALGORITHMS[algorithm](eps, min_pts, device, **kwargs)
+    start = time.perf_counter()
+    try:
+        result = clusterer.fit(points)
+    except DeviceMemoryError as exc:
+        record.status = "oom"
+        record.error = str(exc)
+        record.wall_seconds = time.perf_counter() - start
+        return record
+    record.wall_seconds = time.perf_counter() - start
+    _fill_from_result(record, result)
+    return record
+
+
+def _fill_from_result(record: RunRecord, result: DBSCANResult) -> None:
+    record.num_clusters = result.num_clusters
+    record.num_noise = result.num_noise
+    record.num_core = int(result.core_mask.sum())
+    if result.report is not None:
+        record.simulated_seconds = result.report.total_simulated_seconds
+        record.breakdown = result.report.breakdown()
+
+
+def run_sweep(
+    algorithms: list[str],
+    points_by_config: list[tuple[str, np.ndarray, float, int]],
+    *,
+    cost_model: DeviceCostModel | None = None,
+    **kwargs,
+) -> list[RunRecord]:
+    """Run every algorithm on every ``(label, points, eps, min_pts)`` config."""
+    records: list[RunRecord] = []
+    for label, pts, eps, min_pts in points_by_config:
+        for algo in algorithms:
+            records.append(
+                run_single(
+                    algo, pts, eps, min_pts, dataset=label, cost_model=cost_model, **kwargs
+                )
+            )
+    return records
+
+
+def speedup_series(
+    records: list[RunRecord], *, baseline: str, target: str, key: str = "eps"
+) -> list[dict]:
+    """Per-configuration speedup of ``target`` over ``baseline``.
+
+    Configurations are matched on ``(dataset, num_points, eps, min_pts)``;
+    the ``key`` argument selects which field labels the series (``"eps"`` or
+    ``"num_points"``).  OOM baseline runs yield ``inf`` speedup, OOM target
+    runs yield 0.0, matching how the paper plots these cases.
+    """
+    def config_key(r: RunRecord):
+        return (r.dataset, r.num_points, r.eps, r.min_pts)
+
+    base = {config_key(r): r for r in records if r.algorithm == baseline}
+    out = []
+    for r in records:
+        if r.algorithm != target:
+            continue
+        b = base.get(config_key(r))
+        if b is None:
+            continue
+        if b.status == "oom" and r.status == "oom":
+            speedup = float("nan")
+        elif b.status == "oom":
+            speedup = float("inf")
+        elif r.status == "oom":
+            speedup = 0.0
+        else:
+            speedup = b.simulated_seconds / r.simulated_seconds if r.simulated_seconds else float("inf")
+        out.append(
+            {
+                key: getattr(r, key) if hasattr(r, key) else r.extra.get(key),
+                "dataset": r.dataset,
+                "baseline_seconds": b.simulated_seconds,
+                "target_seconds": r.simulated_seconds,
+                "speedup": speedup,
+                "baseline_status": b.status,
+                "target_status": r.status,
+            }
+        )
+    return out

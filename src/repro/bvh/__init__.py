@@ -1,0 +1,32 @@
+"""Bounding volume hierarchy substrate.
+
+Provides the acceleration structure the simulated RT device builds over the
+ε-sphere scene: SoA node storage, an LBVH-style Morton builder (the hardware
+analogue), a binned SAH builder (for quality ablations), batched point/ray
+traversal kernels with operation counters, and refit/quality helpers.
+"""
+
+from .lbvh import build_lbvh
+from .node import INVALID_NODE, BVH
+from .refit import leaf_occupancy, refit, sah_cost
+from .sah import build_sah
+from .traversal import (
+    TraversalStats,
+    point_query_counts_early_exit,
+    point_query_pairs,
+    ray_query_pairs,
+)
+
+__all__ = [
+    "BVH",
+    "INVALID_NODE",
+    "build_lbvh",
+    "build_sah",
+    "refit",
+    "sah_cost",
+    "leaf_occupancy",
+    "TraversalStats",
+    "point_query_pairs",
+    "point_query_counts_early_exit",
+    "ray_query_pairs",
+]

@@ -1,0 +1,282 @@
+"""Batched BVH traversal kernels.
+
+The RT-DBSCAN reduction turns every neighbourhood query into an
+infinitesimally short ray, which behaves exactly like a *point* query against
+the BVH: a node can only contribute hits if the query point lies inside the
+node's box.  The kernels below therefore traverse the hierarchy with a
+level-synchronous frontier of ``(query, node)`` pairs and vectorise the
+containment tests over the whole frontier — the software analogue of the
+wavefront the RT cores would process in hardware.
+
+Every kernel reports a :class:`TraversalStats` record with the operation
+counts the device timing model (``repro.perf``) converts into simulated
+execution time: box tests (node visits), leaf visits, and intersection-program
+invocations (candidate primitive checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .node import BVH
+
+__all__ = ["TraversalStats", "point_query_pairs", "point_query_counts_early_exit", "ray_query_pairs"]
+
+
+@dataclass
+class TraversalStats:
+    """Operation counts accumulated over one or more traversal launches."""
+
+    queries: int = 0
+    node_visits: int = 0
+    leaf_visits: int = 0
+    candidates: int = 0
+    confirmed: int = 0
+    levels: int = 0
+
+    def merge(self, other: "TraversalStats") -> "TraversalStats":
+        self.queries += other.queries
+        self.node_visits += other.node_visits
+        self.leaf_visits += other.leaf_visits
+        self.candidates += other.candidates
+        self.confirmed += other.confirmed
+        self.levels = max(self.levels, other.levels)
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "node_visits": self.node_visits,
+            "leaf_visits": self.leaf_visits,
+            "candidates": self.candidates,
+            "confirmed": self.confirmed,
+            "levels": self.levels,
+        }
+
+
+def _expand_leaf_ranges(bvh: BVH, leaf_nodes: np.ndarray) -> np.ndarray:
+    """Indices into ``bvh.prim_indices`` for the slices owned by ``leaf_nodes``."""
+    counts = bvh.prim_count[leaf_nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    starts = bvh.prim_start[leaf_nodes]
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+    return idx
+
+
+def _contains(bvh: BVH, points: np.ndarray, q: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    p = points[q]
+    lo = bvh.node_lower[nodes]
+    hi = bvh.node_upper[nodes]
+    return ((p >= lo) & (p <= hi)).all(axis=1)
+
+
+def point_query_pairs(
+    bvh: BVH,
+    points: np.ndarray,
+    *,
+    chunk_size: int = 16384,
+) -> tuple[np.ndarray, np.ndarray, TraversalStats]:
+    """Find all candidate ``(query, primitive)`` pairs for point queries.
+
+    A pair ``(i, j)`` is emitted whenever query point ``i`` lies inside the
+    AABB of primitive-owning leaf ``j`` reached during traversal; the exact
+    primitive test (the Intersection program) is applied by the caller.
+
+    Parameters
+    ----------
+    bvh:
+        The acceleration structure.
+    points:
+        ``(n, 3)`` query points (ray origins of the ε-rays).
+    chunk_size:
+        Number of queries traversed per frontier pass; bounds peak memory.
+
+    Returns
+    -------
+    (query_idx, prim_idx, stats)
+        Candidate pair arrays (unsorted) and the traversal statistics.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    nq = points.shape[0]
+    stats = TraversalStats(queries=nq)
+    out_q: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+
+    for lo_q in range(0, nq, chunk_size):
+        hi_q = min(nq, lo_q + chunk_size)
+        q = np.arange(lo_q, hi_q, dtype=np.intp)
+        nodes = np.zeros(q.shape[0], dtype=np.intp)
+        level = 0
+        while q.size:
+            level += 1
+            stats.node_visits += int(q.size)
+            keep = _contains(bvh, points, q, nodes)
+            q, nodes = q[keep], nodes[keep]
+            if q.size == 0:
+                break
+            leaf = bvh.leaf_mask[nodes]
+            if leaf.any():
+                leaf_q = q[leaf]
+                leaf_nodes = nodes[leaf]
+                stats.leaf_visits += int(leaf_nodes.size)
+                idx = _expand_leaf_ranges(bvh, leaf_nodes)
+                rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
+                rep_p = bvh.prim_indices[idx]
+                stats.candidates += int(rep_p.size)
+                out_q.append(rep_q)
+                out_p.append(rep_p)
+            internal = ~leaf
+            iq = q[internal]
+            inodes = nodes[internal]
+            q = np.concatenate([iq, iq])
+            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
+        stats.levels = max(stats.levels, level)
+
+    query_idx = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
+    prim_idx = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)
+    return query_idx, prim_idx, stats
+
+
+def point_query_counts_early_exit(
+    bvh: BVH,
+    points: np.ndarray,
+    confirm: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    min_count: int | None = None,
+    chunk_size: int = 16384,
+) -> tuple[np.ndarray, TraversalStats]:
+    """Count confirmed hits per query, optionally stopping at ``min_count``.
+
+    This is the traversal mode FDBSCAN's early-exit optimisation relies on
+    (Section VI-B): a query stops traversing as soon as it has confirmed
+    ``min_count`` neighbours.  With ``min_count=None`` the traversal runs to
+    completion and returns exact counts.
+
+    Parameters
+    ----------
+    confirm:
+        Callback mapping candidate ``(query_idx, prim_idx)`` arrays to a
+        boolean array of confirmed hits (the Intersection-program test).
+
+    Returns
+    -------
+    (counts, stats)
+        ``counts[i]`` is the number of confirmed hits for query ``i``
+        (saturating once ``min_count`` is reached, if given).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    nq = points.shape[0]
+    counts = np.zeros(nq, dtype=np.int64)
+    stats = TraversalStats(queries=nq)
+
+    for lo_q in range(0, nq, chunk_size):
+        hi_q = min(nq, lo_q + chunk_size)
+        q = np.arange(lo_q, hi_q, dtype=np.intp)
+        nodes = np.zeros(q.shape[0], dtype=np.intp)
+        level = 0
+        while q.size:
+            level += 1
+            stats.node_visits += int(q.size)
+            keep = _contains(bvh, points, q, nodes)
+            q, nodes = q[keep], nodes[keep]
+            if q.size == 0:
+                break
+            leaf = bvh.leaf_mask[nodes]
+            if leaf.any():
+                leaf_q = q[leaf]
+                leaf_nodes = nodes[leaf]
+                stats.leaf_visits += int(leaf_nodes.size)
+                idx = _expand_leaf_ranges(bvh, leaf_nodes)
+                rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
+                rep_p = bvh.prim_indices[idx]
+                stats.candidates += int(rep_p.size)
+                if rep_p.size:
+                    ok = np.asarray(confirm(rep_q, rep_p), dtype=bool)
+                    stats.confirmed += int(ok.sum())
+                    np.add.at(counts, rep_q[ok], 1)
+            internal = ~leaf
+            iq = q[internal]
+            inodes = nodes[internal]
+            q = np.concatenate([iq, iq])
+            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
+            if min_count is not None and q.size:
+                still_active = counts[q] < min_count
+                q, nodes = q[still_active], nodes[still_active]
+        stats.levels = max(stats.levels, level)
+    return counts, stats
+
+
+def ray_query_pairs(
+    bvh: BVH,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    tmin: np.ndarray,
+    tmax: np.ndarray,
+    *,
+    chunk_size: int = 16384,
+) -> tuple[np.ndarray, np.ndarray, TraversalStats]:
+    """General ray traversal using the slab test (used by triangle mode and tests).
+
+    Returns candidate ``(ray, primitive)`` pairs whose leaf AABB was hit by the
+    ray's parametric interval.
+    """
+    origins = np.atleast_2d(np.asarray(origins, dtype=np.float64))
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    tmin = np.broadcast_to(np.asarray(tmin, dtype=np.float64), (origins.shape[0],))
+    tmax = np.broadcast_to(np.asarray(tmax, dtype=np.float64), (origins.shape[0],))
+    with np.errstate(divide="ignore"):
+        inv_dirs = 1.0 / directions
+    nq = origins.shape[0]
+    stats = TraversalStats(queries=nq)
+    out_q: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+
+    for lo_q in range(0, nq, chunk_size):
+        hi_q = min(nq, lo_q + chunk_size)
+        q = np.arange(lo_q, hi_q, dtype=np.intp)
+        nodes = np.zeros(q.shape[0], dtype=np.intp)
+        level = 0
+        while q.size:
+            level += 1
+            stats.node_visits += int(q.size)
+            lo = bvh.node_lower[nodes]
+            hi = bvh.node_upper[nodes]
+            o = origins[q]
+            inv = inv_dirs[q]
+            t0 = (lo - o) * inv
+            t1 = (hi - o) * inv
+            tnear = np.where(np.isnan(np.minimum(t0, t1)), -np.inf, np.minimum(t0, t1))
+            tfar = np.where(np.isnan(np.maximum(t0, t1)), np.inf, np.maximum(t0, t1))
+            enter = np.maximum(tnear.max(axis=1), tmin[q])
+            exit_ = np.minimum(tfar.min(axis=1), tmax[q])
+            keep = enter <= exit_
+            q, nodes = q[keep], nodes[keep]
+            if q.size == 0:
+                break
+            leaf = bvh.leaf_mask[nodes]
+            if leaf.any():
+                leaf_q = q[leaf]
+                leaf_nodes = nodes[leaf]
+                stats.leaf_visits += int(leaf_nodes.size)
+                idx = _expand_leaf_ranges(bvh, leaf_nodes)
+                rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
+                rep_p = bvh.prim_indices[idx]
+                stats.candidates += int(rep_p.size)
+                out_q.append(rep_q)
+                out_p.append(rep_p)
+            internal = ~leaf
+            iq = q[internal]
+            inodes = nodes[internal]
+            q = np.concatenate([iq, iq])
+            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
+        stats.levels = max(stats.levels, level)
+
+    query_idx = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
+    prim_idx = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)
+    return query_idx, prim_idx, stats

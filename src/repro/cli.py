@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+* ``rt-dbscan cluster``     — run a DBSCAN variant on a CSV file or a named
+  synthetic dataset and print (or save) the labels;
+* ``rt-dbscan experiment``  — regenerate one of the paper's tables/figures
+  (by experiment id, see ``rt-dbscan list``) and print the report;
+* ``rt-dbscan list``        — list available datasets, algorithms and
+  experiments.
+
+The console script is installed as ``rt-dbscan``; the module can also be run
+with ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .bench.experiments import get_experiment, list_experiments, run_experiment
+from .bench.report import format_breakdown, format_records, format_speedup_table, format_time_table
+from .bench.runner import ALGORITHMS, run_single
+from .data.registry import generate, list_datasets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="rt-dbscan",
+        description="RT-DBSCAN reproduction: DBSCAN on a simulated ray-tracing device.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # -- cluster --------------------------------------------------------- #
+    p_cluster = sub.add_parser("cluster", help="cluster a CSV file or a synthetic dataset")
+    src = p_cluster.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="CSV file with 2 or 3 numeric columns (no header)")
+    src.add_argument("--dataset", choices=list_datasets(), help="named synthetic dataset")
+    p_cluster.add_argument("--num-points", type=int, default=10_000,
+                           help="points to generate when using --dataset (default 10000)")
+    p_cluster.add_argument("--seed", type=int, default=0, help="generator seed")
+    p_cluster.add_argument("--eps", type=float, required=True, help="DBSCAN eps radius")
+    p_cluster.add_argument("--min-pts", type=int, required=True, help="DBSCAN minPts")
+    p_cluster.add_argument("--algorithm", default="rt-dbscan",
+                           choices=sorted(ALGORITHMS) + ["classic"],
+                           help="which implementation to run (default rt-dbscan)")
+    p_cluster.add_argument("--output", help="write labels (one per line) to this file")
+    p_cluster.add_argument("--json", action="store_true", help="print the summary as JSON")
+
+    # -- experiment ------------------------------------------------------ #
+    p_exp = sub.add_parser("experiment", help="regenerate one of the paper's tables/figures")
+    p_exp.add_argument("id", choices=list_experiments(), help="experiment id (e.g. fig5c, table1)")
+    p_exp.add_argument("--scale", type=float, default=1.0,
+                       help="scale factor applied to the experiment's dataset sizes (default 1.0)")
+    p_exp.add_argument("--json", action="store_true", help="print raw records as JSON")
+
+    # -- list ------------------------------------------------------------ #
+    sub.add_parser("list", help="list datasets, algorithms and experiments")
+    return parser
+
+
+def _load_points(args: argparse.Namespace) -> np.ndarray:
+    if args.input:
+        pts = np.loadtxt(args.input, delimiter=",", dtype=np.float64)
+        return np.atleast_2d(pts)
+    return generate(args.dataset, args.num_points, seed=args.seed)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    record = run_single(
+        args.algorithm, points, args.eps, args.min_pts,
+        dataset=args.dataset or args.input,
+    )
+    if args.json:
+        print(json.dumps(record.as_dict(), indent=2))
+    else:
+        print(format_records([record]))
+        if record.breakdown:
+            print()
+            print(format_breakdown(record))
+    if args.output and record.status == "ok":
+        # Re-run is avoided by refitting only when labels must be persisted.
+        from .bench.runner import ALGORITHMS as _ALGOS
+        from .dbscan.classic import classic_dbscan
+        from .rtcore.device import RTDevice
+
+        if args.algorithm == "classic":
+            result = classic_dbscan(points, args.eps, args.min_pts)
+        else:
+            result = _ALGOS[args.algorithm](args.eps, args.min_pts, RTDevice()).fit(points)
+        np.savetxt(args.output, result.labels, fmt="%d")
+        print(f"labels written to {args.output}")
+    return 0 if record.status == "ok" else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.id)
+    records = run_experiment(args.id, scale=args.scale)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in records], indent=2))
+        return 0
+    print(f"# {spec.paper_ref}: {spec.title}")
+    print(f"# dataset={spec.dataset}  minPts={spec.min_pts}  scale={args.scale}")
+    print()
+    vary = "eps" if spec.mode == "eps_sweep" else "num_points"
+    print(format_time_table(records, algorithms=list(spec.algorithms), vary=vary,
+                            title="Execution time (simulated seconds)"))
+    print()
+    targets = [a for a in spec.algorithms if a != spec.baseline]
+    print(format_speedup_table(records, baseline=spec.baseline, targets=targets, vary=vary,
+                               title=f"Speedup over {spec.baseline}"))
+    if spec.mode == "breakdown":
+        print()
+        for r in records:
+            if r.status == "ok":
+                print(format_breakdown(r))
+                print()
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("datasets:")
+    for name in list_datasets():
+        print(f"  {name}")
+    print("algorithms:")
+    for name in sorted(ALGORITHMS) + ["classic"]:
+        print(f"  {name}")
+    print("experiments:")
+    for exp_id in list_experiments():
+        spec = get_experiment(exp_id)
+        print(f"  {exp_id:<8} {spec.paper_ref:<18} {spec.title}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``rt-dbscan`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Dataset registry.
+
+Maps the dataset names used throughout the paper's evaluation to their
+synthetic generators and to the paper's parameter choices, so the benchmark
+harness, the CLI and the examples can all request "porto at 50 K points"
+without caring which module implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .iono3d import IONO3D_DEFAULTS, generate_iono3d
+from .ngsim import NGSIM_DEFAULTS, generate_ngsim
+from .porto import PORTO_DEFAULTS, generate_porto
+from .road3d import ROAD3D_DEFAULTS, generate_road3d
+from .synthetic import make_blobs, make_uniform_noise
+
+__all__ = ["DatasetSpec", "DATASETS", "get_dataset", "generate", "list_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset with its generator and paper-documented defaults."""
+
+    name: str
+    generator: Callable[..., np.ndarray]
+    description: str
+    paper_defaults: dict = field(default_factory=dict)
+
+    def generate(self, n: int, *, seed: int = 0, **kwargs) -> np.ndarray:
+        """Generate ``n`` points with a deterministic seed."""
+        return self.generator(n, seed=seed, **kwargs)
+
+
+def _generate_blobs_noise(n: int, *, seed: int = 0, **kwargs) -> np.ndarray:
+    """Small synthetic benchmark dataset: Gaussian blobs plus 10% noise."""
+    rng = np.random.default_rng(seed)
+    n_noise = n // 10
+    pts, _ = make_blobs(n - n_noise, centers=8, std=0.15, box=10.0, seed=rng, **kwargs)
+    noise = make_uniform_noise(n_noise, low=-1.0, high=11.0, dim=pts.shape[1], seed=rng)
+    out = np.vstack([pts, noise])
+    return out[rng.permutation(out.shape[0])]
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "3droad": DatasetSpec(
+        name="3droad",
+        generator=generate_road3d,
+        description="Road-network GPS points (North Jutland style), 2D, sparse corridors + towns.",
+        paper_defaults=ROAD3D_DEFAULTS,
+    ),
+    "porto": DatasetSpec(
+        name="porto",
+        generator=generate_porto,
+        description="Urban taxi GPS points (Porto style), 2D, heavy-tailed hotspots + trips.",
+        paper_defaults=PORTO_DEFAULTS,
+    ),
+    "ngsim": DatasetSpec(
+        name="ngsim",
+        generator=generate_ngsim,
+        description="Highway vehicle trajectories (NGSIM style), 2D, extremely dense corridor.",
+        paper_defaults=NGSIM_DEFAULTS,
+    ),
+    "3diono": DatasetSpec(
+        name="3diono",
+        generator=generate_iono3d,
+        description="Ionosphere TEC samples (3DIono style), 3D, smooth tracks + hotspots.",
+        paper_defaults=IONO3D_DEFAULTS,
+    ),
+    "blobs": DatasetSpec(
+        name="blobs",
+        generator=_generate_blobs_noise,
+        description="Synthetic Gaussian blobs with 10% uniform noise (tests and quickstart).",
+        paper_defaults={"dimensions": 2, "min_pts": 10, "fixed_eps": 0.3},
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[key]
+
+
+def generate(name: str, n: int, *, seed: int = 0, **kwargs) -> np.ndarray:
+    """Generate ``n`` points from the named dataset."""
+    return get_dataset(name).generate(n, seed=seed, **kwargs)
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets."""
+    return sorted(DATASETS)

@@ -1,0 +1,141 @@
+"""Generic synthetic point-cloud generators.
+
+These are the building blocks the dataset-specific generators compose, and
+they are also used directly by the unit tests, the property-based tests and
+the quickstart example: Gaussian blobs, uniform background noise, ring/moon
+shapes (to exercise DBSCAN's ability to find non-convex clusters) and simple
+trajectory sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "make_blobs",
+    "make_uniform_noise",
+    "make_rings",
+    "make_moons",
+    "make_trajectory",
+    "combine",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def make_blobs(
+    n: int,
+    centers: np.ndarray | int = 3,
+    *,
+    std: float | np.ndarray = 0.1,
+    dim: int = 2,
+    box: float = 10.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs.
+
+    Returns ``(points, true_labels)``; points are distributed as evenly as
+    possible across the requested centres.
+    """
+    rng = _rng(seed)
+    if isinstance(centers, (int, np.integer)):
+        centers = rng.uniform(0.0, box, size=(int(centers), dim))
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    k = centers.shape[0]
+    stds = np.broadcast_to(np.asarray(std, dtype=np.float64), (k,))
+    sizes = np.full(k, n // k, dtype=np.int64)
+    sizes[: n - sizes.sum()] += 1
+    points = []
+    labels = []
+    for i, (c, s, m) in enumerate(zip(centers, stds, sizes)):
+        points.append(rng.normal(c, s, size=(int(m), centers.shape[1])))
+        labels.append(np.full(int(m), i, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def make_uniform_noise(
+    n: int, *, low=0.0, high=10.0, dim: int = 2, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Uniform background noise points in a box."""
+    rng = _rng(seed)
+    low = np.broadcast_to(np.asarray(low, dtype=np.float64), (dim,))
+    high = np.broadcast_to(np.asarray(high, dtype=np.float64), (dim,))
+    return rng.uniform(low, high, size=(int(n), dim))
+
+
+def make_rings(
+    n: int,
+    *,
+    radii=(1.0, 2.5),
+    center=(0.0, 0.0),
+    noise: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concentric 2D rings — clusters k-means cannot find but DBSCAN can."""
+    rng = _rng(seed)
+    radii = np.asarray(radii, dtype=np.float64)
+    k = radii.shape[0]
+    sizes = np.full(k, n // k, dtype=np.int64)
+    sizes[: n - sizes.sum()] += 1
+    points, labels = [], []
+    for i, (r, m) in enumerate(zip(radii, sizes)):
+        theta = rng.uniform(0, 2 * np.pi, int(m))
+        x = center[0] + r * np.cos(theta) + rng.normal(0, noise, int(m))
+        y = center[1] + r * np.sin(theta) + rng.normal(0, noise, int(m))
+        points.append(np.column_stack([x, y]))
+        labels.append(np.full(int(m), i, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def make_moons(
+    n: int, *, noise: float = 0.05, seed: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-moons (2D)."""
+    rng = _rng(seed)
+    n_a = n // 2
+    n_b = n - n_a
+    theta_a = rng.uniform(0, np.pi, n_a)
+    theta_b = rng.uniform(0, np.pi, n_b)
+    a = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    b = np.column_stack([1.0 - np.cos(theta_b), 0.5 - np.sin(theta_b)])
+    pts = np.vstack([a, b]) + rng.normal(0, noise, size=(n, 2))
+    labels = np.concatenate([np.zeros(n_a, dtype=np.int64), np.ones(n_b, dtype=np.int64)])
+    return pts, labels
+
+
+def make_trajectory(
+    n: int,
+    waypoints: np.ndarray,
+    *,
+    jitter: float = 0.01,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n`` jittered points along a polyline of waypoints.
+
+    Used by the road-network and vehicle-trajectory dataset generators.
+    """
+    rng = _rng(seed)
+    waypoints = np.atleast_2d(np.asarray(waypoints, dtype=np.float64))
+    if waypoints.shape[0] < 2:
+        raise ValueError("a trajectory needs at least two waypoints")
+    seg_vec = np.diff(waypoints, axis=0)
+    seg_len = np.linalg.norm(seg_vec, axis=1)
+    if seg_len.sum() == 0:
+        raise ValueError("trajectory waypoints are all identical")
+    probs = seg_len / seg_len.sum()
+    seg_idx = rng.choice(seg_len.shape[0], size=int(n), p=probs)
+    t = rng.uniform(0, 1, int(n))[:, None]
+    pts = waypoints[seg_idx] + t * seg_vec[seg_idx]
+    return pts + rng.normal(0, jitter, size=pts.shape)
+
+
+def combine(*arrays: np.ndarray, seed: int | np.random.Generator | None = None) -> np.ndarray:
+    """Stack point arrays and shuffle the rows (deterministically by seed)."""
+    rng = _rng(seed)
+    stacked = np.vstack(arrays)
+    perm = rng.permutation(stacked.shape[0])
+    return stacked[perm]

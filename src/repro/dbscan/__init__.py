@@ -1,0 +1,29 @@
+"""DBSCAN implementations and shared clustering machinery.
+
+``RTDBSCAN`` is the paper's contribution (Algorithm 3) on the simulated RT
+device; ``classic_dbscan`` is the sequential Ester et al. oracle; the
+disjoint-set forests and label helpers are shared with the GPU baselines in
+:mod:`repro.baselines`.
+"""
+
+from .classic import classic_dbscan
+from .disjoint_set import DisjointSet, ParallelDisjointSet
+from .labels import PointClass, classify_points, labels_from_roots
+from .params import NOISE, UNCLASSIFIED, DBSCANParams, DBSCANResult, canonicalize_labels
+from .rt_dbscan import RTDBSCAN, rt_dbscan
+
+__all__ = [
+    "classic_dbscan",
+    "DisjointSet",
+    "ParallelDisjointSet",
+    "PointClass",
+    "classify_points",
+    "labels_from_roots",
+    "NOISE",
+    "UNCLASSIFIED",
+    "DBSCANParams",
+    "DBSCANResult",
+    "canonicalize_labels",
+    "RTDBSCAN",
+    "rt_dbscan",
+]

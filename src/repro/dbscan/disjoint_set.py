@@ -1,0 +1,172 @@
+"""Disjoint-set (union–find) forests.
+
+RT-DBSCAN follows FDBSCAN in replacing the breadth-first cluster expansion of
+the original DBSCAN with a union–find structure (Hopcroft & Ullman): stage 2
+of Algorithm 3 unions every core point with its core neighbours and attaches
+border points to a neighbouring core's set.  Two variants are provided:
+
+* :class:`DisjointSet` — the classic sequential structure with union by rank
+  and path compression; used by the reference implementations and the tests.
+* :class:`ParallelDisjointSet` — an array-based structure with a *batched*
+  edge-union operation that performs the hooking / pointer-jumping iterations
+  GPU union–find kernels use, vectorised with NumPy.  It also counts the
+  union and atomic operations it performs so the device cost model can charge
+  them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DisjointSet", "ParallelDisjointSet"]
+
+
+class DisjointSet:
+    """Sequential union–find with union by rank and path compression."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.intp)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.num_unions = 0
+
+    def __len__(self) -> int:
+        return int(self.parent.shape[0])
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set, compressing the path walked."""
+        root = x
+        while self.parent[root] != root:
+            root = int(self.parent[root])
+        while self.parent[x] != root:
+            self.parent[x], x = root, int(self.parent[x])
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.num_unions += 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def roots(self) -> np.ndarray:
+        """Representative of every element (fully compressed)."""
+        return np.asarray([self.find(i) for i in range(len(self))], dtype=np.intp)
+
+    def num_sets(self) -> int:
+        return int(np.unique(self.roots()).size)
+
+
+class ParallelDisjointSet:
+    """Array-based union–find with batched edge unions (GPU-style).
+
+    The batched :meth:`union_edges` implements the hook-and-jump iteration
+    used by GPU connected-component/union-find kernels (and by FDBSCAN's
+    ArborX implementation): every edge repeatedly hooks the larger root onto
+    the smaller one, then all parent pointers are compressed by pointer
+    jumping, until no edge spans two different sets.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.intp)
+        #: number of elementary union (hook) operations performed.
+        self.num_unions = 0
+        #: number of atomic operations (used when attaching border points).
+        self.num_atomics = 0
+
+    def __len__(self) -> int:
+        return int(self.parent.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def find_many(self, idx: np.ndarray) -> np.ndarray:
+        """Representatives for an array of elements (no mutation)."""
+        idx = np.asarray(idx, dtype=np.intp)
+        roots = self.parent[idx]
+        while True:
+            nxt = self.parent[roots]
+            if np.array_equal(nxt, roots):
+                return roots
+            roots = nxt
+
+    def find(self, x: int) -> int:
+        return int(self.find_many(np.asarray([x]))[0])
+
+    def compress(self) -> None:
+        """Pointer-jump every element until the forest is flat."""
+        while True:
+            nxt = self.parent[self.parent]
+            if np.array_equal(nxt, self.parent):
+                return
+            self.parent = nxt
+
+    # ------------------------------------------------------------------ #
+    def union_edges(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Union the endpoint sets of every edge ``(a[i], b[i])``.
+
+        Returns the number of hook operations performed (also accumulated in
+        :attr:`num_unions`).  The iteration count is O(log n) in practice.
+        """
+        a = np.asarray(a, dtype=np.intp)
+        b = np.asarray(b, dtype=np.intp)
+        if a.shape != b.shape:
+            raise ValueError("edge endpoint arrays must have the same shape")
+        hooks = 0
+        if a.size == 0:
+            return hooks
+        while True:
+            ra = self.find_many(a)
+            rb = self.find_many(b)
+            diff = ra != rb
+            if not diff.any():
+                break
+            hi = np.maximum(ra[diff], rb[diff])
+            lo = np.minimum(ra[diff], rb[diff])
+            # Hook the larger root onto the smaller one; np.minimum.at makes
+            # concurrent hooks onto the same root deterministic.
+            np.minimum.at(self.parent, hi, lo)
+            hooks += int(diff.sum())
+            self.compress()
+        self.num_unions += hooks
+        return hooks
+
+    def attach(self, children: np.ndarray, parents: np.ndarray) -> int:
+        """Atomically attach each child to its parent's set (border points).
+
+        Children are expected to be singleton sets (unclassified points); if a
+        child appears several times only one attachment wins, mirroring the
+        critical section of Algorithm 3 line 13–14.  Returns the number of
+        atomic attachments performed.
+        """
+        children = np.asarray(children, dtype=np.intp)
+        parents = np.asarray(parents, dtype=np.intp)
+        if children.shape != parents.shape:
+            raise ValueError("children and parents must have the same shape")
+        if children.size == 0:
+            return 0
+        # Keep the first occurrence of each child (deterministic winner).
+        uniq, first = np.unique(children, return_index=True)
+        winners = parents[first]
+        roots = self.find_many(winners)
+        self.parent[uniq] = roots
+        self.num_atomics += int(uniq.size)
+        return int(uniq.size)
+
+    def roots(self) -> np.ndarray:
+        """Fully compressed representative of every element."""
+        self.compress()
+        return self.parent.copy()
+
+    def num_sets(self) -> int:
+        return int(np.unique(self.roots()).size)

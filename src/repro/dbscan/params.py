@@ -1,0 +1,144 @@
+"""Shared DBSCAN parameter and result types.
+
+Conventions
+-----------
+All DBSCAN implementations in this package use the same definitions so their
+outputs are directly comparable:
+
+* the ε-neighbourhood of a point **excludes the point itself**, matching the
+  ``q != s`` filter in the paper's Algorithm 2;
+* a point is a **core point** when it has at least ``min_pts`` neighbours
+  within ε (under the convention above);
+* a **border point** is a non-core point within ε of at least one core point;
+* every other point is **noise** and is labelled ``-1``;
+* cluster labels are consecutive integers starting at 0, numbered by the
+  smallest point index contained in each cluster (deterministic across runs).
+
+Border points reachable from several clusters may legitimately be assigned to
+any one of them (the paper's "critical section" in Algorithm 3 exists exactly
+because of this race); the agreement metrics in :mod:`repro.metrics` treat
+such assignments as equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.timing import ExecutionReport
+
+__all__ = ["DBSCANParams", "DBSCANResult", "UNCLASSIFIED", "NOISE"]
+
+#: Internal label for points not yet assigned to any cluster.
+UNCLASSIFIED = -2
+#: Label of noise points in the output.
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DBSCANParams:
+    """The two DBSCAN parameters, validated."""
+
+    eps: float
+    min_pts: int
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.eps) or self.eps <= 0:
+            raise ValueError(f"eps must be a positive finite number, got {self.eps}")
+        if int(self.min_pts) != self.min_pts or self.min_pts < 1:
+            raise ValueError(f"min_pts must be a positive integer, got {self.min_pts}")
+        object.__setattr__(self, "min_pts", int(self.min_pts))
+
+
+@dataclass
+class DBSCANResult:
+    """Output of one DBSCAN run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` integer labels; ``-1`` marks noise.
+    core_mask:
+        ``(n,)`` boolean array marking core points.
+    params:
+        The ε / minPts used.
+    report:
+        Per-phase timing and operation counts (None for reference
+        implementations that are not instrumented).
+    neighbor_counts:
+        Optional per-point ε-neighbour counts (saved so subsequent runs with
+        a different ``min_pts`` can skip stage 1, per Section VI-B).
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    params: DBSCANParams
+    algorithm: str = "dbscan"
+    report: ExecutionReport | None = None
+    neighbor_counts: np.ndarray | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_points(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_clusters(self) -> int:
+        unique = np.unique(self.labels)
+        return int((unique >= 0).sum())
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        return self.labels == NOISE
+
+    @property
+    def num_noise(self) -> int:
+        return int(self.noise_mask.sum())
+
+    @property
+    def border_mask(self) -> np.ndarray:
+        return (~self.core_mask) & (~self.noise_mask)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of the clusters, indexed by cluster label."""
+        if self.num_clusters == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.num_clusters)
+
+    def summary(self) -> dict:
+        out = {
+            "algorithm": self.algorithm,
+            "num_points": self.num_points,
+            "num_clusters": self.num_clusters,
+            "num_core": int(self.core_mask.sum()),
+            "num_border": int(self.border_mask.sum()),
+            "num_noise": self.num_noise,
+            "eps": self.params.eps,
+            "min_pts": self.params.min_pts,
+        }
+        if self.report is not None:
+            out["simulated_seconds"] = self.report.total_simulated_seconds
+            out["wall_seconds"] = self.report.total_wall_seconds
+        return out
+
+
+def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
+    """Renumber cluster labels so clusters are ordered by smallest member index.
+
+    Noise (``-1``) is preserved.  Used by every implementation so that two
+    algorithms producing the same partition emit identical label arrays.
+    """
+    labels = np.asarray(labels)
+    out = np.full(labels.shape, NOISE, dtype=np.int64)
+    seen: dict[int, int] = {}
+    next_id = 0
+    clustered = np.flatnonzero(labels >= 0)
+    for idx in clustered:
+        lab = int(labels[idx])
+        if lab not in seen:
+            seen[lab] = next_id
+            next_id += 1
+    for old, new in seen.items():
+        out[labels == old] = new
+    return out

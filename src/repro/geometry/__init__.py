@@ -1,0 +1,62 @@
+"""Geometric primitives used by the simulated RT device.
+
+The subpackage provides the scene-building blocks of the paper's pipeline:
+axis-aligned bounding boxes, rays, ε-spheres, triangle tessellations
+(Section VI-C) and Morton codes for the LBVH builder, plus the 2D→3D lifting
+transform the paper applies to planar datasets.
+"""
+
+from .aabb import (
+    AABB,
+    aabb_centroids,
+    aabb_contains_points,
+    aabb_overlaps,
+    aabb_surface_area,
+    aabb_union,
+)
+from .morton import morton3d_30, morton3d_63, morton_order, normalize_to_unit_cube
+from .ray import (
+    EPSILON_RAY_TMAX,
+    RayBatch,
+    make_point_query_rays,
+    point_in_sphere,
+    ray_aabb_intersect,
+    ray_sphere_intersect,
+)
+from .sphere import SphereGeometry
+from .transforms import (
+    bounding_extent,
+    lift_to_3d,
+    minmax_normalize,
+    standardize,
+    validate_points,
+)
+from .triangle import TriangleGeometry, icosphere, tessellate_spheres
+
+__all__ = [
+    "AABB",
+    "aabb_centroids",
+    "aabb_contains_points",
+    "aabb_overlaps",
+    "aabb_surface_area",
+    "aabb_union",
+    "morton3d_30",
+    "morton3d_63",
+    "morton_order",
+    "normalize_to_unit_cube",
+    "EPSILON_RAY_TMAX",
+    "RayBatch",
+    "make_point_query_rays",
+    "point_in_sphere",
+    "ray_aabb_intersect",
+    "ray_sphere_intersect",
+    "SphereGeometry",
+    "bounding_extent",
+    "lift_to_3d",
+    "minmax_normalize",
+    "standardize",
+    "validate_points",
+    "TriangleGeometry",
+    "icosphere",
+    "tessellate_spheres",
+]

@@ -1,0 +1,188 @@
+"""Axis-aligned bounding boxes (AABBs).
+
+AABBs are the bounding volumes used by the simulated RT device.  Following
+the paper (Section II-A), every scene primitive — a sphere of radius ``eps``
+centred on a data point for RT-DBSCAN — is enclosed in an AABB, and the BVH
+is built over those AABBs.
+
+The module keeps boxes in structure-of-arrays form (two ``(n, 3)`` float64
+arrays ``lower`` and ``upper``) so that all box math vectorises over the
+whole batch, per the NumPy idioms used throughout this project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AABB",
+    "aabb_union",
+    "aabb_contains_points",
+    "aabb_overlaps",
+    "aabb_surface_area",
+    "aabb_centroids",
+    "EMPTY_LOWER",
+    "EMPTY_UPPER",
+]
+
+# Sentinel bounds of an empty box: any union with a real box yields the real
+# box, and no point is contained in it.
+EMPTY_LOWER = np.inf
+EMPTY_UPPER = -np.inf
+
+
+@dataclass
+class AABB:
+    """A batch of axis-aligned bounding boxes.
+
+    Parameters
+    ----------
+    lower:
+        ``(n, 3)`` array of per-box minimum corners.
+    upper:
+        ``(n, 3)`` array of per-box maximum corners.
+
+    Notes
+    -----
+    A single box may be represented as a batch of size one.  The class is a
+    thin, validated wrapper; all heavy lifting is done by the module-level
+    vectorised helpers so they can also be applied to raw arrays inside the
+    BVH builders without object overhead.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lower = np.atleast_2d(np.asarray(self.lower, dtype=np.float64))
+        self.upper = np.atleast_2d(np.asarray(self.upper, dtype=np.float64))
+        if self.lower.shape != self.upper.shape:
+            raise ValueError(
+                f"lower/upper shape mismatch: {self.lower.shape} vs {self.upper.shape}"
+            )
+        if self.lower.ndim != 2 or self.lower.shape[1] != 3:
+            raise ValueError(f"AABB arrays must have shape (n, 3), got {self.lower.shape}")
+        finite = np.isfinite(self.lower) & np.isfinite(self.upper)
+        bad = finite.all(axis=1) & (self.lower > self.upper).any(axis=1)
+        if bad.any():
+            raise ValueError("AABB has lower > upper for at least one finite box")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n: int = 1) -> "AABB":
+        """Return ``n`` empty boxes (identity element for union)."""
+        lower = np.full((n, 3), EMPTY_LOWER, dtype=np.float64)
+        upper = np.full((n, 3), EMPTY_UPPER, dtype=np.float64)
+        return cls(lower, upper)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "AABB":
+        """Single box that bounds every row of ``points`` (``(n, 3)``)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return cls.empty(1)
+        return cls(points.min(axis=0, keepdims=True), points.max(axis=0, keepdims=True))
+
+    @classmethod
+    def from_spheres(cls, centers: np.ndarray, radius: float | np.ndarray) -> "AABB":
+        """Per-sphere AABBs for spheres of the given radius at ``centers``.
+
+        This is the bounding-box program of the paper's OWL pipeline: every
+        data point expanded to a sphere of radius ε gets a cube of side 2ε.
+        """
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        radius = np.asarray(radius, dtype=np.float64)
+        if np.any(radius < 0):
+            raise ValueError("sphere radius must be non-negative")
+        r = radius.reshape(-1, 1) if radius.ndim else radius
+        return cls(centers - r, centers + r)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.lower.shape[0]
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """``(n, 3)`` array of box centres (empty boxes give NaN)."""
+        return aabb_centroids(self.lower, self.upper)
+
+    @property
+    def extents(self) -> np.ndarray:
+        """``(n, 3)`` array of box edge lengths."""
+        return self.upper - self.lower
+
+    def surface_area(self) -> np.ndarray:
+        """Per-box surface area (used by the SAH builder)."""
+        return aabb_surface_area(self.lower, self.upper)
+
+    def union_all(self) -> "AABB":
+        """Single box bounding the whole batch."""
+        lo = self.lower.min(axis=0, keepdims=True)
+        hi = self.upper.max(axis=0, keepdims=True)
+        return AABB(lo, hi)
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(n_boxes, n_points)`` of point containment."""
+        return aabb_contains_points(self.lower, self.upper, points)
+
+    def overlaps(self, other: "AABB") -> np.ndarray:
+        """Pairwise overlap test against another batch of equal length."""
+        return aabb_overlaps(self.lower, self.upper, other.lower, other.upper)
+
+    def expanded(self, margin: float) -> "AABB":
+        """Return boxes grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return AABB(self.lower - margin, self.upper + margin)
+
+
+# ---------------------------------------------------------------------- #
+# vectorised helpers on raw arrays
+# ---------------------------------------------------------------------- #
+def aabb_union(lower_a, upper_a, lower_b, upper_b):
+    """Componentwise union of two equally shaped batches of boxes."""
+    return np.minimum(lower_a, lower_b), np.maximum(upper_a, upper_b)
+
+
+def aabb_centroids(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Box centres; preserves the shape of the inputs."""
+    return 0.5 * (np.asarray(lower) + np.asarray(upper))
+
+
+def aabb_surface_area(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Surface area of each box; empty boxes report zero area."""
+    ext = np.asarray(upper, dtype=np.float64) - np.asarray(lower, dtype=np.float64)
+    ext = np.maximum(ext, 0.0)
+    ext = np.where(np.isfinite(ext), ext, 0.0)
+    d = np.atleast_2d(ext)
+    area = 2.0 * (d[:, 0] * d[:, 1] + d[:, 1] * d[:, 2] + d[:, 0] * d[:, 2])
+    return area if np.ndim(lower) == 2 else area[0]
+
+
+def aabb_contains_points(lower: np.ndarray, upper: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Containment matrix: element ``[i, j]`` is True if box ``i`` contains point ``j``.
+
+    Containment is inclusive of the boundary, matching the behaviour of a
+    watertight ray/point-in-box test on RT hardware.
+    """
+    lower = np.atleast_2d(np.asarray(lower, dtype=np.float64))
+    upper = np.atleast_2d(np.asarray(upper, dtype=np.float64))
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    ge = points[None, :, :] >= lower[:, None, :]
+    le = points[None, :, :] <= upper[:, None, :]
+    return (ge & le).all(axis=2)
+
+
+def aabb_overlaps(lower_a, upper_a, lower_b, upper_b) -> np.ndarray:
+    """Pairwise overlap of two equally sized batches of boxes (inclusive)."""
+    lower_a = np.atleast_2d(np.asarray(lower_a, dtype=np.float64))
+    upper_a = np.atleast_2d(np.asarray(upper_a, dtype=np.float64))
+    lower_b = np.atleast_2d(np.asarray(lower_b, dtype=np.float64))
+    upper_b = np.atleast_2d(np.asarray(upper_b, dtype=np.float64))
+    return ((lower_a <= upper_b) & (upper_a >= lower_b)).all(axis=1)

@@ -1,0 +1,93 @@
+"""Morton (Z-order) codes.
+
+The simulated RT device builds its BVH the way GPU LBVH builders do: it
+quantises primitive centroids onto a 2^10 (or 2^21) grid per axis, interleaves
+the bits into a Morton code, sorts primitives along the resulting space-filling
+curve and splits ranges at the median.  Nearby primitives end up in nearby
+leaves, which is what gives the traversal its pruning power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "expand_bits_10",
+    "expand_bits_21",
+    "morton3d_30",
+    "morton3d_63",
+    "normalize_to_unit_cube",
+    "morton_order",
+]
+
+
+def expand_bits_10(v: np.ndarray) -> np.ndarray:
+    """Spread the low 10 bits of each value so they occupy every third bit."""
+    v = np.asarray(v, dtype=np.uint64) & np.uint64(0x3FF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x030000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x0300F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x030C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x09249249)
+    return v
+
+
+def expand_bits_21(v: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each value so they occupy every third bit."""
+    v = np.asarray(v, dtype=np.uint64) & np.uint64(0x1FFFFF)
+    v = (v | (v << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return v
+
+
+def morton3d_30(coords: np.ndarray) -> np.ndarray:
+    """30-bit Morton codes for points already normalised to [0, 1]^3."""
+    coords = np.clip(np.atleast_2d(np.asarray(coords, dtype=np.float64)), 0.0, 1.0)
+    scaled = np.minimum((coords * 1024.0).astype(np.uint64), np.uint64(1023))
+    x = expand_bits_10(scaled[:, 0])
+    y = expand_bits_10(scaled[:, 1])
+    z = expand_bits_10(scaled[:, 2])
+    return (x << np.uint64(2)) | (y << np.uint64(1)) | z
+
+
+def morton3d_63(coords: np.ndarray) -> np.ndarray:
+    """63-bit Morton codes for points already normalised to [0, 1]^3.
+
+    Higher resolution than :func:`morton3d_30`; used for very large scenes
+    where many primitives would otherwise share a 30-bit code.
+    """
+    coords = np.clip(np.atleast_2d(np.asarray(coords, dtype=np.float64)), 0.0, 1.0)
+    scaled = np.minimum((coords * float(1 << 21)).astype(np.uint64), np.uint64((1 << 21) - 1))
+    x = expand_bits_21(scaled[:, 0])
+    y = expand_bits_21(scaled[:, 1])
+    z = expand_bits_21(scaled[:, 2])
+    return (x << np.uint64(2)) | (y << np.uint64(1)) | z
+
+
+def normalize_to_unit_cube(points: np.ndarray) -> np.ndarray:
+    """Affinely map a point set into the unit cube (degenerate axes map to 0.5)."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = hi - lo
+    safe = np.where(span > 0, span, 1.0)
+    out = (points - lo) / safe
+    out[:, span == 0] = 0.5
+    return out
+
+
+def morton_order(points: np.ndarray, bits: int = 30) -> np.ndarray:
+    """Return the permutation that sorts ``points`` along the Morton curve.
+
+    Ties are broken by original index so the ordering is deterministic.
+    """
+    unit = normalize_to_unit_cube(points)
+    if bits == 30:
+        codes = morton3d_30(unit)
+    elif bits == 63:
+        codes = morton3d_63(unit)
+    else:
+        raise ValueError("bits must be 30 or 63")
+    return np.lexsort((np.arange(len(codes)), codes))

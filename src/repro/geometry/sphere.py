@@ -1,0 +1,75 @@
+"""Sphere primitives.
+
+The input transformation of RT-DBSCAN (Section III-B) turns every data point
+into a solid sphere of radius ε.  ``SphereGeometry`` is the batch primitive
+the simulated RT device builds its BVH over; it also carries the custom
+bounding-box and intersection programs the OWL pipeline would register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aabb import AABB
+
+__all__ = ["SphereGeometry"]
+
+
+@dataclass
+class SphereGeometry:
+    """A batch of spheres sharing a common (or per-sphere) radius.
+
+    Parameters
+    ----------
+    centers:
+        ``(n, 3)`` sphere centres — the (lifted) data points.
+    radii:
+        Scalar or ``(n,)`` radii.  RT-DBSCAN uses a single ε for all spheres.
+    """
+
+    centers: np.ndarray
+    radii: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.centers = np.atleast_2d(np.asarray(self.centers, dtype=np.float64))
+        if self.centers.shape[1] != 3:
+            raise ValueError(f"sphere centers must have shape (n, 3), got {self.centers.shape}")
+        radii = np.asarray(self.radii, dtype=np.float64)
+        if radii.ndim == 0:
+            radii = np.full(self.centers.shape[0], float(radii))
+        if radii.shape != (self.centers.shape[0],):
+            raise ValueError("radii must be a scalar or a (n,) array matching centers")
+        if np.any(radii < 0):
+            raise ValueError("sphere radii must be non-negative")
+        self.radii = radii
+
+    def __len__(self) -> int:
+        return self.centers.shape[0]
+
+    # -- OWL-style bounds program ------------------------------------- #
+    def bounds(self) -> AABB:
+        """Axis-aligned bounding boxes, one per sphere (the bounds program)."""
+        return AABB(self.centers - self.radii[:, None], self.centers + self.radii[:, None])
+
+    # -- OWL-style intersection program -------------------------------- #
+    def contains(self, points: np.ndarray, prim_ids: np.ndarray) -> np.ndarray:
+        """Exact solid-sphere containment for candidate (point, primitive) pairs.
+
+        ``points`` is ``(m, 3)`` and ``prim_ids`` is ``(m,)``; element ``k``
+        reports whether ``points[k]`` lies inside sphere ``prim_ids[k]``.
+        This is the distance check of Algorithm 2 line 6 that filters
+        bounding-box false positives.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        prim_ids = np.asarray(prim_ids, dtype=np.intp)
+        d = points - self.centers[prim_ids]
+        return np.einsum("ij,ij->i", d, d) <= self.radii[prim_ids] ** 2
+
+    def squared_distance(self, points: np.ndarray, prim_ids: np.ndarray) -> np.ndarray:
+        """Squared distance from each point to the centre of its paired sphere."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        prim_ids = np.asarray(prim_ids, dtype=np.intp)
+        d = points - self.centers[prim_ids]
+        return np.einsum("ij,ij->i", d, d)

@@ -1,0 +1,78 @@
+"""Dataset-to-scene transforms.
+
+OptiX (and therefore the simulated RT device) only accepts 3D input.  The
+paper lifts 2D datasets by setting the z coordinate to zero and giving the
+query rays a z direction of 1.  These helpers centralise that convention and
+a few normalisation utilities the examples and benchmarks share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lift_to_3d",
+    "validate_points",
+    "minmax_normalize",
+    "standardize",
+    "bounding_extent",
+]
+
+
+def validate_points(points: np.ndarray, *, name: str = "points") -> np.ndarray:
+    """Validate and canonicalise a point array to 2D float64 with 2 or 3 columns."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2D array, got ndim={arr.ndim}")
+    if arr.shape[1] not in (2, 3):
+        raise ValueError(
+            f"{name} must have 2 or 3 columns (RT cores handle at most 3 dimensions), "
+            f"got {arr.shape[1]}"
+        )
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one point")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite coordinates")
+    return arr
+
+
+def lift_to_3d(points: np.ndarray) -> np.ndarray:
+    """Lift 2D points to 3D by appending z = 0 (3D points pass through)."""
+    arr = validate_points(points)
+    if arr.shape[1] == 3:
+        return arr
+    z = np.zeros((arr.shape[0], 1), dtype=np.float64)
+    return np.hstack([arr, z])
+
+
+def minmax_normalize(points: np.ndarray) -> np.ndarray:
+    """Scale each axis into [0, 1]; constant axes map to 0."""
+    arr = validate_points(points)
+    lo = arr.min(axis=0)
+    hi = arr.max(axis=0)
+    span = hi - lo
+    safe = np.where(span > 0, span, 1.0)
+    out = (arr - lo) / safe
+    out[:, span == 0] = 0.0
+    return out
+
+
+def standardize(points: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling per axis (constant axes stay at 0)."""
+    arr = validate_points(points)
+    mu = arr.mean(axis=0)
+    sd = arr.std(axis=0)
+    safe = np.where(sd > 0, sd, 1.0)
+    out = (arr - mu) / safe
+    out[:, sd == 0] = 0.0
+    return out
+
+
+def bounding_extent(points: np.ndarray) -> float:
+    """Length of the diagonal of the point set's bounding box.
+
+    Useful for choosing ε sweeps that are comparable across datasets.
+    """
+    arr = validate_points(points)
+    span = arr.max(axis=0) - arr.min(axis=0)
+    return float(np.linalg.norm(span))

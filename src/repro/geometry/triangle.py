@@ -1,0 +1,133 @@
+"""Triangle primitives and sphere tessellation.
+
+Section VI-C of the paper experiments with approximating the ε-spheres by
+triangle meshes so that the (hardware-accelerated) ray–triangle test could be
+used instead of a custom Intersection program.  The authors found a 2×–5×
+slowdown because every triangle hit must invoke the AnyHit program.  To
+reproduce that ablation we provide an icosphere tessellation of a sphere and
+a batched point-in-mesh test usable by the simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aabb import AABB
+
+__all__ = ["TriangleGeometry", "icosphere", "tessellate_spheres"]
+
+
+def _icosahedron() -> tuple[np.ndarray, np.ndarray]:
+    """Unit icosahedron vertices and faces."""
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, phi, 0], [1, phi, 0], [-1, -phi, 0], [1, -phi, 0],
+            [0, -1, phi], [0, 1, phi], [0, -1, -phi], [0, 1, -phi],
+            [phi, 0, -1], [phi, 0, 1], [-phi, 0, -1], [-phi, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        dtype=np.intp,
+    )
+    return verts, faces
+
+
+def icosphere(subdivisions: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Unit icosphere (geodesic sphere) vertices and triangle faces.
+
+    Each subdivision splits every triangle into four, so the face count is
+    ``20 * 4**subdivisions``.
+    """
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be non-negative")
+    verts, faces = _icosahedron()
+    for _ in range(subdivisions):
+        vert_list = list(map(tuple, verts))
+        cache: dict[tuple[int, int], int] = {}
+
+        def midpoint(i: int, j: int) -> int:
+            key = (min(i, j), max(i, j))
+            if key in cache:
+                return cache[key]
+            m = 0.5 * (np.asarray(vert_list[i]) + np.asarray(vert_list[j]))
+            m = m / np.linalg.norm(m)
+            vert_list.append(tuple(m))
+            cache[key] = len(vert_list) - 1
+            return cache[key]
+
+        new_faces = []
+        for a, b, c in faces:
+            ab, bc, ca = midpoint(a, b), midpoint(b, c), midpoint(c, a)
+            new_faces.extend([[a, ab, ca], [b, bc, ab], [c, ca, bc], [ab, bc, ca]])
+        verts = np.asarray(vert_list, dtype=np.float64)
+        faces = np.asarray(new_faces, dtype=np.intp)
+    return verts, faces
+
+
+@dataclass
+class TriangleGeometry:
+    """A triangle soup with a per-triangle owner primitive index.
+
+    ``owners[k]`` records which original sphere (data point) triangle ``k``
+    tessellates; the RT-DBSCAN triangle-mode pipeline maps triangle hits back
+    to data points through it.
+    """
+
+    vertices: np.ndarray  # (v, 3)
+    faces: np.ndarray  # (f, 3) int
+    owners: np.ndarray  # (f,) int
+
+    def __post_init__(self) -> None:
+        self.vertices = np.atleast_2d(np.asarray(self.vertices, dtype=np.float64))
+        self.faces = np.atleast_2d(np.asarray(self.faces, dtype=np.intp))
+        self.owners = np.asarray(self.owners, dtype=np.intp)
+        if self.vertices.shape[1] != 3 or self.faces.shape[1] != 3:
+            raise ValueError("vertices and faces must have shape (*, 3)")
+        if self.owners.shape != (self.faces.shape[0],):
+            raise ValueError("owners must have one entry per face")
+        if self.faces.size and self.faces.max() >= self.vertices.shape[0]:
+            raise ValueError("face index out of range")
+
+    def __len__(self) -> int:
+        return self.faces.shape[0]
+
+    def bounds(self) -> AABB:
+        """Per-triangle AABBs (the built-in triangle bounds of the device)."""
+        tri = self.vertices[self.faces]  # (f, 3, 3)
+        return AABB(tri.min(axis=1), tri.max(axis=1))
+
+    def triangle_vertices(self) -> np.ndarray:
+        """``(f, 3, 3)`` array of triangle corner coordinates."""
+        return self.vertices[self.faces]
+
+
+def tessellate_spheres(
+    centers: np.ndarray, radius: float, subdivisions: int = 1
+) -> TriangleGeometry:
+    """Tessellate every ε-sphere into an icosphere mesh (Section VI-C mode).
+
+    Returns a single triangle soup whose ``owners`` array maps each triangle
+    back to the index of the data point whose sphere it belongs to.
+    """
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    unit_v, unit_f = icosphere(subdivisions)
+    n = centers.shape[0]
+    nv, nf = unit_v.shape[0], unit_f.shape[0]
+    verts = (unit_v[None, :, :] * radius + centers[:, None, :]).reshape(n * nv, 3)
+    offsets = (np.arange(n) * nv)[:, None, None]
+    faces = (unit_f[None, :, :] + offsets).reshape(n * nf, 3)
+    owners = np.repeat(np.arange(n, dtype=np.intp), nf)
+    return TriangleGeometry(verts, faces, owners)

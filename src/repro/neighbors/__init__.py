@@ -1,0 +1,24 @@
+"""Fixed-radius neighbour search primitives.
+
+Contains the paper's RT-FindNeighborhood primitive (Algorithm 2) on top of
+the simulated RT device, the exact brute-force oracle used by the tests, the
+uniform-grid index used by the CUDA-DClust+ baseline, and kNN helpers for
+ε selection.
+"""
+
+from .brute import brute_force_neighbor_counts, brute_force_neighbors, pairwise_within
+from .grid import UniformGrid
+from .knn import knn_brute_force, kth_neighbor_distances, suggest_eps
+from .rt_find import RTNeighborFinder, rt_find_neighbors
+
+__all__ = [
+    "brute_force_neighbor_counts",
+    "brute_force_neighbors",
+    "pairwise_within",
+    "UniformGrid",
+    "knn_brute_force",
+    "kth_neighbor_distances",
+    "suggest_eps",
+    "RTNeighborFinder",
+    "rt_find_neighbors",
+]

@@ -1,0 +1,51 @@
+"""k-nearest-neighbour helpers.
+
+DBSCAN users commonly choose ε from the "k-distance plot": sort every point's
+distance to its k-th nearest neighbour and look for the knee.  These helpers
+implement that workflow (used by the examples and the parameter-sweep
+benchmark) on top of a KD-tree, plus a small brute-force variant used as an
+oracle in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["kth_neighbor_distances", "knn_brute_force", "suggest_eps"]
+
+
+def kth_neighbor_distances(points: np.ndarray, k: int) -> np.ndarray:
+    """Distance from every point to its k-th nearest *other* point."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if not 1 <= k < n:
+        raise ValueError("k must satisfy 1 <= k < number of points")
+    tree = cKDTree(points)
+    # k+1 because the nearest neighbour of a point is the point itself.
+    dists, _ = tree.query(points, k=k + 1)
+    return dists[:, k]
+
+
+def knn_brute_force(points: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k nearest other points for every point (exact, O(n^2))."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if not 1 <= k < n:
+        raise ValueError("k must satisfy 1 <= k < number of points")
+    d2 = ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    return np.argsort(d2, axis=1)[:, :k]
+
+
+def suggest_eps(points: np.ndarray, min_pts: int, *, quantile: float = 0.95) -> float:
+    """Suggest an ε value via the k-distance heuristic.
+
+    Uses the ``quantile`` of the distance to the ``min_pts``-th neighbour,
+    which places roughly ``quantile`` of the points inside dense regions.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    k = max(1, min_pts)
+    dists = kth_neighbor_distances(points, min(k, len(points) - 1))
+    return float(np.quantile(dists, quantile))

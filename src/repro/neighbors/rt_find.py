@@ -1,0 +1,168 @@
+"""RT-FindNeighborhood — the paper's Algorithm 2.
+
+``findNeighborhood(p, S, ε)`` is reduced to a ray-tracing query: every point
+of the dataset becomes a solid sphere of radius ε, and an infinitesimally
+short ray launched from the query point intersects exactly the spheres whose
+centres lie within ε (Section III-B/III-C).  ``RTNeighborFinder`` wraps the
+scene setup (OWL context, geometry, acceleration-structure build) and exposes
+the two query flavours DBSCAN needs:
+
+* ``neighbor_counts``  — count ε-neighbours per point (stage 1 of Algorithm 3);
+* ``neighbor_pairs``   — all confirmed (point, neighbour) pairs (stage 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.transforms import lift_to_3d, validate_points
+from ..rtcore.counters import LaunchStats
+from ..rtcore.device import RTDevice
+from ..rtcore.owl import OWLContext, OWLGroup, owl_context_create
+
+__all__ = ["RTNeighborFinder", "rt_find_neighbors"]
+
+
+@dataclass
+class RTNeighborFinder:
+    """Fixed-radius neighbour search backed by the simulated RT device.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` or ``(n, 3)`` data points.  2D inputs are lifted to 3D
+        with z = 0, as the paper does for planar datasets.
+    radius:
+        The ε query radius (also the radius of every scene sphere).
+    device:
+        Simulated device; a fresh RTX 2060-like device is created if omitted.
+    builder, leaf_size, chunk_size:
+        Acceleration-structure and launch parameters forwarded to the
+        pipeline.
+    triangle_mode:
+        When True the spheres are tessellated into triangles and hits are
+        routed through the AnyHit program (the Section VI-C ablation).
+    """
+
+    points: np.ndarray
+    radius: float
+    device: RTDevice | None = None
+    builder: str = "lbvh"
+    leaf_size: int = 4
+    chunk_size: int = 16384
+    triangle_mode: bool = False
+    triangle_subdivisions: int = 0
+
+    context: OWLContext = field(default=None, init=False)  # type: ignore[assignment]
+    group: OWLGroup = field(default=None, init=False)  # type: ignore[assignment]
+    build_seconds: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        pts = validate_points(self.points)
+        if self.radius <= 0:
+            raise ValueError("radius (eps) must be positive")
+        self.points = lift_to_3d(pts)
+        self.device = self.device or RTDevice()
+        self.context = owl_context_create(self.device)
+        if self.triangle_mode:
+            _, geom = self.context.create_triangle_geom_type(
+                self.points, self.radius, subdivisions=self.triangle_subdivisions
+            )
+        else:
+            _, geom = self.context.create_sphere_geom_type(self.points, self.radius)
+        self.group = self.context.build_group(
+            geom, builder=self.builder, leaf_size=self.leaf_size, chunk_size=self.chunk_size
+        )
+        self.build_seconds = self.group.build_seconds
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        return int(self.points.shape[0])
+
+    def _external_programs(self, query_pts: np.ndarray):
+        """Intersection program for query points that are not the dataset.
+
+        The default sphere program assumes the launch rays originate at the
+        dataset points themselves (so the ``q != s`` self filter is an index
+        comparison); external queries need a program bound to their own
+        coordinates and no self filter.
+        """
+        from ..rtcore.programs import ProgramGroup
+
+        centers = self.points
+        r2 = self.radius * self.radius
+
+        def intersection(query_idx: np.ndarray, prim_idx: np.ndarray) -> np.ndarray:
+            if self.triangle_mode:
+                targets = centers[self.group.geom.primitives.owners[prim_idx]]
+            else:
+                targets = centers[prim_idx]
+            d = query_pts[query_idx] - targets
+            return np.einsum("ij,ij->i", d, d) <= r2
+
+        return ProgramGroup(intersection=intersection, name="external-queries")
+
+    def neighbor_counts(
+        self, queries: np.ndarray | None = None, *, min_count: int | None = None
+    ) -> tuple[np.ndarray, LaunchStats]:
+        """Count ε-neighbours for each query point.
+
+        ``queries`` defaults to the dataset itself (the DBSCAN use case), in
+        which case the point's own sphere is excluded from its count.
+        Arbitrary external query points are also supported (no self filter).
+        """
+        if queries is None:
+            return self.group.launch_counts(self.points, min_count=min_count)
+        pts = lift_to_3d(validate_points(queries))
+        return self.group.launch_counts(
+            pts, programs=self._external_programs(pts), min_count=min_count
+        )
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """All confirmed ``(query, neighbour)`` pairs within ε.
+
+        Self pairs are excluded when querying the dataset against itself.
+        """
+        if queries is None:
+            return self.group.launch_hits(self.points)
+        pts = lift_to_3d(validate_points(queries))
+        return self.group.launch_hits(pts, programs=self._external_programs(pts))
+
+    def neighbor_lists(self, queries: np.ndarray | None = None) -> list[np.ndarray]:
+        """Per-query neighbour index lists (convenience wrapper for examples)."""
+        num_queries = self.num_points if queries is None else np.atleast_2d(queries).shape[0]
+        qi, pi, _ = self.neighbor_pairs(queries)
+        order = np.lexsort((pi, qi))
+        qi, pi = qi[order], pi[order]
+        counts = np.bincount(qi, minlength=num_queries)
+        splits = np.cumsum(counts)[:-1]
+        return list(np.split(pi, splits))
+
+    def release(self) -> None:
+        """Free the device-side scene."""
+        self.context.destroy()
+
+
+def rt_find_neighbors(
+    points: np.ndarray, radius: float, **kwargs
+) -> tuple[list[np.ndarray], LaunchStats]:
+    """One-shot RT-FindNeighborhood over a dataset.
+
+    Builds the ε-sphere scene, launches one ray per point, and returns the
+    per-point neighbour lists together with the launch statistics.
+    """
+    finder = RTNeighborFinder(points, radius, **kwargs)
+    try:
+        qi, pi, stats = finder.neighbor_pairs()
+        order = np.lexsort((pi, qi))
+        qi, pi = qi[order], pi[order]
+        counts = np.bincount(qi, minlength=finder.num_points)
+        splits = np.cumsum(counts)[:-1]
+        return list(np.split(pi, splits)), stats
+    finally:
+        finder.release()

@@ -1,0 +1,23 @@
+"""Device cost model, phase timing and memory accounting.
+
+Converts the operation counts the instrumented algorithms collect into
+simulated device time (Section V-D style breakdowns) and reproduces the
+6 GB device-memory ceiling that limits the G-DBSCAN and CUDA-DClust+
+baselines in the paper.
+"""
+
+from .cost_model import DEFAULT_COST_MODEL, DeviceCostModel, OpCounts
+from .memory import DeviceMemoryError, MemoryTracker, estimate_adjacency_bytes
+from .timing import ExecutionReport, Phase, PhaseTimer
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "DeviceCostModel",
+    "OpCounts",
+    "DeviceMemoryError",
+    "MemoryTracker",
+    "estimate_adjacency_bytes",
+    "ExecutionReport",
+    "Phase",
+    "PhaseTimer",
+]

@@ -1,0 +1,80 @@
+"""Device-memory accounting.
+
+The paper reports that G-DBSCAN and CUDA-DClust+ run out of memory on the
+6 GB RTX 2060 once the dataset exceeds roughly 100 K points (Section V-B1).
+That behaviour is reproduced by tracking each algorithm's dominant device
+allocations against the cost model's memory capacity and raising
+:class:`DeviceMemoryError` when the budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceMemoryError", "MemoryTracker", "estimate_adjacency_bytes"]
+
+
+class DeviceMemoryError(MemoryError):
+    """Raised when an algorithm would exceed the simulated device memory."""
+
+    def __init__(self, requested: int, capacity: int, label: str = "") -> None:
+        self.requested = requested
+        self.capacity = capacity
+        self.label = label
+        gb = 1024**3
+        super().__init__(
+            f"device out of memory: allocation {label!r} needs {requested / gb:.2f} GiB "
+            f"but only {capacity / gb:.2f} GiB of device memory is available"
+        )
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks live device allocations against a fixed capacity."""
+
+    capacity_bytes: int
+    allocations: dict = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return int(sum(self.allocations.values()))
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, label: str, nbytes: int) -> None:
+        """Register an allocation, raising ``DeviceMemoryError`` on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DeviceMemoryError(self.used_bytes + nbytes, self.capacity_bytes, label)
+        self.allocations[label] = self.allocations.get(label, 0) + nbytes
+
+    def free(self, label: str) -> None:
+        """Release an allocation (no-op if the label is unknown)."""
+        self.allocations.pop(label, None)
+
+    def reset(self) -> None:
+        self.allocations.clear()
+
+    def peak_snapshot(self) -> dict:
+        return dict(self.allocations)
+
+
+def estimate_adjacency_bytes(num_points: int, mean_degree: float, *, index_bytes: int = 4) -> int:
+    """Device footprint of G-DBSCAN's ε-neighbourhood adjacency structure.
+
+    G-DBSCAN stores, for every point, the full neighbour list plus the CSR
+    offsets and the per-point degree array.  ``mean_degree`` is the average
+    neighbourhood size (excluding the point itself).
+    """
+    if num_points < 0 or mean_degree < 0:
+        raise ValueError("num_points and mean_degree must be non-negative")
+    edges = int(round(num_points * mean_degree))
+    neighbour_lists = edges * index_bytes
+    offsets = (num_points + 1) * index_bytes
+    degrees = num_points * index_bytes
+    visit_flags = num_points * 2  # frontier + visited bytes for the BFS
+    return neighbour_lists + offsets + degrees + visit_flags

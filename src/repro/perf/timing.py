@@ -1,0 +1,132 @@
+"""Phase timing and execution reports.
+
+Each DBSCAN implementation reports its execution as a sequence of named
+phases (``bvh_build``, ``core_identification``, ``cluster_formation``, …).
+A phase carries both the host wall-clock time (what actually elapsed in this
+Python process) and the simulated device time derived from the cost model,
+plus the raw operation counts, so benchmark reports can show the same
+breakdown the paper gives in Section V-D.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .cost_model import DeviceCostModel, OpCounts
+
+__all__ = ["Phase", "ExecutionReport", "PhaseTimer"]
+
+
+@dataclass
+class Phase:
+    """One named execution phase of an algorithm run."""
+
+    name: str
+    wall_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    counts: OpCounts = field(default_factory=OpCounts)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "counts": self.counts.as_dict(),
+        }
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregated timing of a full algorithm run."""
+
+    algorithm: str
+    phases: list[Phase] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(p.wall_seconds for p in self.phases)
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        return sum(p.simulated_seconds for p in self.phases)
+
+    def phase(self, name: str) -> Phase:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r} in report for {self.algorithm}")
+
+    def fraction(self, name: str) -> float:
+        """Fraction of simulated time spent in the named phase."""
+        total = self.total_simulated_seconds
+        if total == 0:
+            return 0.0
+        return self.phase(name).simulated_seconds / total
+
+    def breakdown(self) -> dict:
+        """Phase → simulated seconds mapping (Section V-D style)."""
+        return {p.name: p.simulated_seconds for p in self.phases}
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "total_wall_seconds": self.total_wall_seconds,
+            "total_simulated_seconds": self.total_simulated_seconds,
+            "phases": [p.as_dict() for p in self.phases],
+            "metadata": dict(self.metadata),
+        }
+
+
+class PhaseTimer:
+    """Collects phases for one algorithm run.
+
+    Example
+    -------
+    >>> timer = PhaseTimer("rt-dbscan", cost_model)
+    >>> with timer.phase("bvh_build") as counts:
+    ...     counts.bvh_build_prims = n
+    ...     counts.kernel_launches += 1
+    >>> report = timer.report()
+    """
+
+    def __init__(self, algorithm: str, cost_model: DeviceCostModel) -> None:
+        self.algorithm = algorithm
+        self.cost_model = cost_model
+        self._phases: list[Phase] = []
+        self.metadata: dict = {}
+
+    @contextmanager
+    def phase(self, name: str, *, simulated_seconds: float | None = None):
+        """Record one phase; yields the ``OpCounts`` to fill in.
+
+        If ``simulated_seconds`` is given it overrides the cost-model-derived
+        time (used for the BVH build phase, whose cost is computed directly
+        from the primitive count).
+        """
+        counts = OpCounts()
+        start = time.perf_counter()
+        try:
+            yield counts
+        finally:
+            wall = time.perf_counter() - start
+            sim = simulated_seconds if simulated_seconds is not None else self.cost_model.time_s(counts)
+            self._phases.append(
+                Phase(name=name, wall_seconds=wall, simulated_seconds=sim, counts=counts)
+            )
+
+    def add_phase(self, name: str, *, counts: OpCounts | None = None,
+                  simulated_seconds: float | None = None, wall_seconds: float = 0.0) -> None:
+        """Record a phase whose counts/time were computed elsewhere."""
+        counts = counts or OpCounts()
+        sim = simulated_seconds if simulated_seconds is not None else self.cost_model.time_s(counts)
+        self._phases.append(
+            Phase(name=name, wall_seconds=wall_seconds, simulated_seconds=sim, counts=counts)
+        )
+
+    def report(self) -> ExecutionReport:
+        return ExecutionReport(
+            algorithm=self.algorithm, phases=list(self._phases), metadata=dict(self.metadata)
+        )

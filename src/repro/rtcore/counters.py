@@ -1,0 +1,40 @@
+"""Launch statistics.
+
+``LaunchStats`` is the record a pipeline launch returns alongside its hits:
+the traversal counters (node visits, leaf visits, candidate tests), the
+number of Intersection / AnyHit program invocations, and the simulated time
+the launch cost on the device.  The DBSCAN implementations aggregate these
+into their per-phase execution reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bvh.traversal import TraversalStats
+from ..perf.cost_model import OpCounts
+
+__all__ = ["LaunchStats"]
+
+
+@dataclass
+class LaunchStats:
+    """Statistics for a single RT pipeline launch."""
+
+    num_rays: int = 0
+    traversal: TraversalStats = field(default_factory=TraversalStats)
+    intersection_calls: int = 0
+    anyhit_calls: int = 0
+    confirmed_hits: int = 0
+    simulated_seconds: float = 0.0
+    counts: OpCounts = field(default_factory=OpCounts)
+
+    def as_dict(self) -> dict:
+        return {
+            "num_rays": self.num_rays,
+            "traversal": self.traversal.as_dict(),
+            "intersection_calls": self.intersection_calls,
+            "anyhit_calls": self.anyhit_calls,
+            "confirmed_hits": self.confirmed_hits,
+            "simulated_seconds": self.simulated_seconds,
+        }

@@ -1,0 +1,97 @@
+"""Pipeline program records.
+
+The OptiX pipeline (Fig. 2 of the paper) is assembled from user programs:
+RayGen generates rays, Intersection tests a ray against a custom primitive,
+AnyHit records every hit, ClosestHit reports the nearest hit and Miss handles
+rays that hit nothing.  BVH build and traversal are fixed-function and run on
+the RT cores.  The simulated pipeline keeps the same decomposition: each
+program is a plain Python callable with a documented vectorised signature, so
+algorithms can inject their clustering logic exactly where the paper does —
+inside the Intersection program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "IntersectionProgram",
+    "AnyHitProgram",
+    "ClosestHitProgram",
+    "MissProgram",
+    "RayGenProgram",
+    "ProgramGroup",
+    "sphere_intersection_program",
+]
+
+#: An Intersection program maps candidate ``(query_idx, prim_idx)`` arrays to
+#: a boolean "hit" array.  It runs on the shader cores on behalf of the RT
+#: pipeline, once per candidate produced by the hardware traversal.
+IntersectionProgram = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: An AnyHit program is invoked once per *confirmed* hit; it may carry out
+#: side effects (e.g. appending to a hit list) and returns nothing.
+AnyHitProgram = Callable[[np.ndarray, np.ndarray], None]
+
+#: A ClosestHit program receives, per query, the primitive of the nearest
+#: confirmed hit (or -1).
+ClosestHitProgram = Callable[[np.ndarray, np.ndarray], None]
+
+#: A Miss program receives the indices of queries with no confirmed hit.
+MissProgram = Callable[[np.ndarray], None]
+
+#: A RayGen program produces the query points / rays for a launch.
+RayGenProgram = Callable[[], np.ndarray]
+
+
+@dataclass
+class ProgramGroup:
+    """The set of user programs bound to a geometry for a launch.
+
+    Only the Intersection program is mandatory for custom primitives; the
+    paper explicitly disables AnyHit and ClosestHit to avoid their overhead
+    (Section IV), so they default to ``None`` here as well.
+    """
+
+    intersection: IntersectionProgram
+    anyhit: AnyHitProgram | None = None
+    closesthit: ClosestHitProgram | None = None
+    miss: MissProgram | None = None
+    name: str = "program-group"
+    payload: dict = field(default_factory=dict)
+
+
+def sphere_intersection_program(
+    centers: np.ndarray, radius: float, *, exclude_self: bool = False
+) -> IntersectionProgram:
+    """Build the paper's sphere Intersection program (Algorithm 2, lines 5–8).
+
+    Confirms a candidate when the query point lies within ``radius`` of the
+    candidate sphere's centre, optionally filtering the self-intersection
+    (``q != s``) the way RT-DBSCAN does.
+
+    Parameters
+    ----------
+    centers:
+        ``(n, 3)`` sphere centres; query index ``i`` corresponds to the data
+        point ``centers[i]`` so the self test is an index comparison.
+    radius:
+        The ε radius shared by all spheres.
+    exclude_self:
+        Whether to reject candidates where the query point *is* the sphere's
+        own centre point.
+    """
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    r2 = float(radius) ** 2
+
+    def program(query_idx: np.ndarray, prim_idx: np.ndarray) -> np.ndarray:
+        d = centers[query_idx] - centers[prim_idx]
+        hit = np.einsum("ij,ij->i", d, d) <= r2
+        if exclude_self:
+            hit &= query_idx != prim_idx
+        return hit
+
+    return program

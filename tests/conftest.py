@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs, make_uniform_noise
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blob_points() -> np.ndarray:
+    """Three well-separated Gaussian blobs plus background noise (2D)."""
+    pts, _ = make_blobs(600, centers=np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 4.0]]),
+                        std=0.25, seed=7)
+    noise = make_uniform_noise(60, low=-2.0, high=6.0, dim=2, seed=8)
+    return np.vstack([pts, noise])
+
+
+@pytest.fixture(scope="session")
+def blob_points_3d() -> np.ndarray:
+    """Three well-separated Gaussian blobs in 3D."""
+    pts, _ = make_blobs(
+        500,
+        centers=np.array([[0.0, 0.0, 0.0], [4.0, 0.0, 1.0], [2.0, 4.0, -1.0]]),
+        std=0.3,
+        seed=11,
+    )
+    return pts
+
+
+@pytest.fixture(scope="session")
+def random_points_2d(rng) -> np.ndarray:
+    return rng.uniform(-5.0, 5.0, size=(400, 2))
+
+
+@pytest.fixture(scope="session")
+def random_points_3d(rng) -> np.ndarray:
+    return rng.uniform(-5.0, 5.0, size=(400, 3))

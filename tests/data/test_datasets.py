@@ -1,0 +1,167 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.iono3d import IONO3D_DEFAULTS, generate_iono3d
+from repro.data.ngsim import NGSIM_DEFAULTS, generate_ngsim
+from repro.data.porto import PORTO_DEFAULTS, generate_porto
+from repro.data.registry import DATASETS, generate, get_dataset, list_datasets
+from repro.data.road3d import ROAD3D_DEFAULTS, generate_road3d
+from repro.data.synthetic import (
+    combine,
+    make_blobs,
+    make_moons,
+    make_rings,
+    make_trajectory,
+    make_uniform_noise,
+)
+from repro.neighbors.brute import brute_force_neighbor_counts
+
+GENERATORS = {
+    "3droad": (generate_road3d, 2),
+    "porto": (generate_porto, 2),
+    "ngsim": (generate_ngsim, 2),
+    "3diono": (generate_iono3d, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestPaperDatasetGenerators:
+    def test_shape_and_finiteness(self, name):
+        gen, dim = GENERATORS[name]
+        pts = gen(5000, seed=1)
+        assert pts.shape == (5000, dim)
+        assert np.isfinite(pts).all()
+
+    def test_deterministic_by_seed(self, name):
+        gen, _ = GENERATORS[name]
+        np.testing.assert_array_equal(gen(2000, seed=42), gen(2000, seed=42))
+
+    def test_different_seeds_differ(self, name):
+        gen, _ = GENERATORS[name]
+        assert not np.array_equal(gen(2000, seed=1), gen(2000, seed=2))
+
+    def test_exact_count_for_odd_sizes(self, name):
+        gen, dim = GENERATORS[name]
+        pts = gen(1237, seed=3)
+        assert pts.shape == (1237, dim)
+
+    def test_invalid_count_raises(self, name):
+        gen, _ = GENERATORS[name]
+        with pytest.raises(ValueError):
+            gen(0)
+
+
+class TestDatasetCharacter:
+    """The generators must reproduce the density regimes the paper exploits."""
+
+    def test_road3d_within_extent(self):
+        pts = generate_road3d(5000, seed=0)
+        (lat_lo, lat_hi), (lon_lo, lon_hi) = ROAD3D_DEFAULTS["extent"]
+        margin = 0.3
+        assert pts[:, 0].min() > lat_lo - margin and pts[:, 0].max() < lat_hi + margin
+        assert pts[:, 1].min() > lon_lo - margin and pts[:, 1].max() < lon_hi + margin
+
+    def test_porto_has_heavy_density_contrast(self):
+        pts = generate_porto(20_000, seed=0)
+        counts = brute_force_neighbor_counts(pts[:4000], 0.01)
+        # Hotspots are far denser than the typical (median) neighbourhood and
+        # a visible fraction of points sit in near-empty suburbs.
+        assert counts.max() > 5 * max(np.median(counts), 1)
+        assert (counts < np.median(counts) / 5).mean() > 0.05
+
+    def test_ngsim_is_dense_but_forms_no_clusters_at_paper_eps(self):
+        pts = generate_ngsim(20_000, seed=0)
+        eps = NGSIM_DEFAULTS["fixed_eps"]
+        counts = brute_force_neighbor_counts(pts[:5000], eps)
+        assert counts.max() < NGSIM_DEFAULTS["min_pts"]
+
+    def test_ngsim_corridor_shape(self):
+        pts = generate_ngsim(10_000, seed=1)
+        extent = pts.max(axis=0) - pts.min(axis=0)
+        # Quasi-1D: the longitudinal extent dwarfs the lateral one.
+        assert extent[1] > 5 * extent[0]
+
+    def test_iono3d_is_three_dimensional_with_structure(self):
+        pts = generate_iono3d(10_000, seed=0)
+        assert pts.shape[1] == 3
+        # Latitude bounded, TEC positive and latitude-dependent.
+        assert np.abs(pts[:, 0]).max() <= 60.0 + 1e-9
+        assert pts[:, 2].min() > 0
+
+    def test_porto_defaults_match_paper(self):
+        assert PORTO_DEFAULTS["min_pts"] == 1000
+        assert IONO3D_DEFAULTS["dimensions"] == 3
+
+
+class TestSyntheticBuildingBlocks:
+    def test_make_blobs_labels(self):
+        pts, labels = make_blobs(100, centers=4, seed=0)
+        assert pts.shape == (100, 2)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_make_blobs_explicit_centers(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts, labels = make_blobs(50, centers=centers, std=0.01, seed=1)
+        assert np.abs(pts[labels == 0] - centers[0]).max() < 1.0
+
+    def test_make_uniform_noise_bounds(self):
+        pts = make_uniform_noise(200, low=-1, high=2, dim=3, seed=2)
+        assert pts.shape == (200, 3)
+        assert pts.min() >= -1 and pts.max() <= 2
+
+    def test_make_rings_radii(self):
+        pts, labels = make_rings(400, radii=(1.0, 2.0), noise=0.0, seed=3)
+        r = np.linalg.norm(pts[labels == 1], axis=1)
+        np.testing.assert_allclose(r, 2.0, atol=1e-9)
+
+    def test_make_moons_two_labels(self):
+        pts, labels = make_moons(300, seed=4)
+        assert pts.shape == (300, 2)
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_make_trajectory_follows_waypoints(self):
+        waypoints = np.array([[0.0, 0.0], [1.0, 0.0]])
+        pts = make_trajectory(500, waypoints, jitter=0.0, seed=5)
+        assert (pts[:, 1] == 0).all()
+        assert pts[:, 0].min() >= 0 and pts[:, 0].max() <= 1
+
+    def test_make_trajectory_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            make_trajectory(10, np.array([[0.0, 0.0]]))
+
+    def test_make_trajectory_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            make_trajectory(10, np.zeros((3, 2)))
+
+    def test_combine_shuffles_deterministically(self):
+        a = np.zeros((10, 2))
+        b = np.ones((10, 2))
+        out1 = combine(a, b, seed=1)
+        out2 = combine(a, b, seed=1)
+        np.testing.assert_array_equal(out1, out2)
+        assert out1.shape == (20, 2)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert {"3droad", "porto", "ngsim", "3diono"} <= set(list_datasets())
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("PORTO").name == "porto"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("mnist")
+
+    def test_generate_helper(self):
+        pts = generate("blobs", 500, seed=0)
+        assert pts.shape[0] == 500
+
+    def test_spec_descriptions_present(self):
+        for name, spec in DATASETS.items():
+            assert spec.description
+            assert spec.name == name

@@ -1,0 +1,128 @@
+"""Tests for the sequential DBSCAN oracle (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbscan.classic import classic_dbscan
+from repro.dbscan.params import NOISE
+from repro.neighbors.brute import brute_force_neighbor_counts
+
+
+class TestClassicDBSCANBasics:
+    def test_two_well_separated_blobs(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        assert result.num_clusters == 3
+        assert result.num_noise > 0
+        assert result.labels.shape == (len(blob_points),)
+
+    def test_all_noise_when_eps_tiny(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, size=(200, 2))
+        result = classic_dbscan(pts, eps=1e-6, min_pts=2)
+        assert result.num_clusters == 0
+        assert result.num_noise == 200
+        assert (result.labels == NOISE).all()
+
+    def test_single_cluster_when_eps_huge(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        result = classic_dbscan(pts, eps=10.0, min_pts=3)
+        assert result.num_clusters == 1
+        assert result.num_noise == 0
+
+    def test_core_mask_matches_definition(self, blob_points):
+        eps, min_pts = 0.5, 5
+        result = classic_dbscan(blob_points, eps=eps, min_pts=min_pts)
+        counts = brute_force_neighbor_counts(blob_points, eps)
+        np.testing.assert_array_equal(result.core_mask, counts >= min_pts)
+
+    def test_neighbor_counts_returned(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        np.testing.assert_array_equal(
+            result.neighbor_counts, brute_force_neighbor_counts(blob_points, 0.5)
+        )
+
+    def test_border_points_labelled_with_cluster(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        border = result.border_mask
+        assert (result.labels[border] >= 0).all()
+
+    def test_noise_points_never_core(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        assert not (result.core_mask & result.noise_mask).any()
+
+    def test_labels_are_canonical(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        clustered = result.labels[result.labels >= 0]
+        assert set(np.unique(clustered)) == set(range(result.num_clusters))
+        # Cluster 0 contains the smallest clustered point index.
+        first = np.flatnonzero(result.labels >= 0)[0]
+        assert result.labels[first] == 0
+
+    def test_brute_and_kdtree_methods_agree(self, blob_points):
+        a = classic_dbscan(blob_points, eps=0.5, min_pts=5, neighbor_method="kdtree")
+        b = classic_dbscan(blob_points, eps=0.5, min_pts=5, neighbor_method="brute")
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.core_mask, b.core_mask)
+
+    def test_unknown_method_raises(self, blob_points):
+        with pytest.raises(ValueError):
+            classic_dbscan(blob_points, eps=0.5, min_pts=5, neighbor_method="magic")
+
+    def test_invalid_eps_raises(self, blob_points):
+        with pytest.raises(ValueError):
+            classic_dbscan(blob_points, eps=-1.0, min_pts=5)
+
+    def test_invalid_min_pts_raises(self, blob_points):
+        with pytest.raises(ValueError):
+            classic_dbscan(blob_points, eps=0.5, min_pts=0)
+
+    def test_3d_input(self, blob_points_3d):
+        result = classic_dbscan(blob_points_3d, eps=0.6, min_pts=5)
+        assert result.num_clusters == 3
+
+    def test_result_summary_fields(self, blob_points):
+        s = classic_dbscan(blob_points, eps=0.5, min_pts=5).summary()
+        assert s["num_points"] == len(blob_points)
+        assert s["num_clusters"] == 3
+        assert s["eps"] == 0.5
+
+    def test_cluster_sizes_sum(self, blob_points):
+        result = classic_dbscan(blob_points, eps=0.5, min_pts=5)
+        assert result.cluster_sizes().sum() == (result.labels >= 0).sum()
+
+
+class TestDensityConnectivityInvariants:
+    """Structural invariants every correct DBSCAN labelling satisfies."""
+
+    @pytest.fixture(scope="class")
+    def result_and_points(self, blob_points):
+        return classic_dbscan(blob_points, eps=0.5, min_pts=5), blob_points
+
+    def test_core_points_same_cluster_when_close(self, result_and_points):
+        result, pts = result_and_points
+        core_idx = np.flatnonzero(result.core_mask)
+        core_pts = pts[core_idx]
+        d2 = ((core_pts[:, None, :] - core_pts[None, :, :]) ** 2).sum(axis=2)
+        close = d2 <= 0.5**2
+        li = result.labels[core_idx]
+        i, j = np.nonzero(close)
+        assert (li[i] == li[j]).all()
+
+    def test_noise_points_far_from_all_cores(self, result_and_points):
+        result, pts = result_and_points
+        core_pts = pts[result.core_mask]
+        noise_pts = pts[result.noise_mask]
+        if len(noise_pts) and len(core_pts):
+            d2 = ((noise_pts[:, None, :] - core_pts[None, :, :]) ** 2).sum(axis=2)
+            assert (d2.min(axis=1) > 0.5**2).all()
+
+    def test_border_points_near_core_of_their_cluster(self, result_and_points):
+        result, pts = result_and_points
+        for b in np.flatnonzero(result.border_mask):
+            lab = result.labels[b]
+            same_cluster_cores = np.flatnonzero(result.core_mask & (result.labels == lab))
+            d2 = ((pts[same_cluster_cores] - pts[b]) ** 2).sum(axis=1)
+            assert d2.min() <= 0.5**2 + 1e-12

@@ -1,0 +1,139 @@
+"""Tests for the union–find structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbscan.disjoint_set import DisjointSet, ParallelDisjointSet
+
+
+class TestDisjointSet:
+    def test_initially_all_singletons(self):
+        ds = DisjointSet(5)
+        assert ds.num_sets() == 5
+        assert all(ds.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        ds.union(0, 1)
+        ds.union(2, 3)
+        assert ds.connected(0, 1)
+        assert ds.connected(2, 3)
+        assert not ds.connected(0, 2)
+        assert ds.num_sets() == 2
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(3)
+        ds.union(0, 1)
+        before = ds.num_unions
+        ds.union(1, 0)
+        assert ds.num_unions == before
+
+    def test_transitivity(self):
+        ds = DisjointSet(6)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(2, 3)
+        assert ds.connected(0, 3)
+
+    def test_roots_consistent(self):
+        ds = DisjointSet(10)
+        for i in range(9):
+            ds.union(i, i + 1)
+        roots = ds.roots()
+        assert len(set(roots.tolist())) == 1
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+    @given(edges=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_graph_components(self, edges):
+        import networkx as nx
+
+        ds = DisjointSet(20)
+        g = nx.Graph()
+        g.add_nodes_from(range(20))
+        for a, b in edges:
+            ds.union(a, b)
+            g.add_edge(a, b)
+        expected = {frozenset(c) for c in nx.connected_components(g)}
+        roots = ds.roots()
+        got = {frozenset(np.flatnonzero(roots == r).tolist()) for r in set(roots.tolist())}
+        assert got == expected
+
+
+class TestParallelDisjointSet:
+    def test_union_edges_empty(self):
+        ds = ParallelDisjointSet(5)
+        assert ds.union_edges(np.array([], dtype=int), np.array([], dtype=int)) == 0
+        assert ds.num_sets() == 5
+
+    def test_union_edges_chain(self):
+        ds = ParallelDisjointSet(100)
+        a = np.arange(99)
+        ds.union_edges(a, a + 1)
+        assert ds.num_sets() == 1
+
+    def test_union_edges_mismatched_shapes(self):
+        ds = ParallelDisjointSet(5)
+        with pytest.raises(ValueError):
+            ds.union_edges(np.array([0]), np.array([1, 2]))
+
+    def test_union_counts_accumulate(self):
+        ds = ParallelDisjointSet(10)
+        ds.union_edges(np.array([0, 2]), np.array([1, 3]))
+        assert ds.num_unions > 0
+
+    def test_attach_border_points(self):
+        ds = ParallelDisjointSet(6)
+        ds.union_edges(np.array([0]), np.array([1]))  # core cluster {0,1}
+        ds.attach(np.array([4, 5]), np.array([0, 1]))
+        roots = ds.roots()
+        assert roots[4] == roots[0]
+        assert roots[5] == roots[0]
+        assert ds.num_atomics == 2
+
+    def test_attach_duplicate_children_single_winner(self):
+        ds = ParallelDisjointSet(5)
+        ds.union_edges(np.array([0]), np.array([1]))
+        ds.union_edges(np.array([2]), np.array([3]))
+        # Border point 4 is claimed by both clusters; exactly one wins.
+        ds.attach(np.array([4, 4]), np.array([0, 2]))
+        roots = ds.roots()
+        assert roots[4] in (roots[0], roots[2])
+        assert ds.num_atomics == 1
+
+    def test_attach_mismatched_shapes(self):
+        ds = ParallelDisjointSet(4)
+        with pytest.raises(ValueError):
+            ds.attach(np.array([0]), np.array([1, 2]))
+
+    def test_find_many_no_mutation(self):
+        ds = ParallelDisjointSet(8)
+        ds.union_edges(np.array([0, 1]), np.array([1, 2]))
+        parent_before = ds.parent.copy()
+        ds.find_many(np.arange(8))
+        np.testing.assert_array_equal(ds.parent, parent_before)
+
+    @given(edges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_sequential_union_find(self, edges):
+        seq = DisjointSet(30)
+        par = ParallelDisjointSet(30)
+        a = np.array([e[0] for e in edges], dtype=int)
+        b = np.array([e[1] for e in edges], dtype=int)
+        for x, y in edges:
+            seq.union(x, y)
+        if a.size:
+            par.union_edges(a, b)
+        seq_roots = seq.roots()
+        par_roots = par.roots()
+        # Same partition (representatives may differ).
+        for i in range(30):
+            for j in range(30):
+                assert (seq_roots[i] == seq_roots[j]) == (par_roots[i] == par_roots[j])

@@ -1,0 +1,113 @@
+"""Tests for label extraction and the shared parameter/result types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbscan.labels import PointClass, classify_points, labels_from_roots
+from repro.dbscan.params import (
+    NOISE,
+    DBSCANParams,
+    DBSCANResult,
+    canonicalize_labels,
+)
+
+
+class TestDBSCANParams:
+    def test_valid(self):
+        p = DBSCANParams(eps=0.5, min_pts=3)
+        assert p.eps == 0.5 and p.min_pts == 3
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_eps(self, eps):
+        with pytest.raises(ValueError):
+            DBSCANParams(eps=eps, min_pts=3)
+
+    @pytest.mark.parametrize("min_pts", [0, -5, 2.5])
+    def test_invalid_min_pts(self, min_pts):
+        with pytest.raises(ValueError):
+            DBSCANParams(eps=0.5, min_pts=min_pts)
+
+
+class TestCanonicalizeLabels:
+    def test_renumbers_by_first_occurrence(self):
+        labels = np.array([5, 5, -1, 2, 2, 5])
+        out = canonicalize_labels(labels)
+        np.testing.assert_array_equal(out, [0, 0, -1, 1, 1, 0])
+
+    def test_noise_preserved(self):
+        labels = np.array([-1, -1, -1])
+        np.testing.assert_array_equal(canonicalize_labels(labels), [-1, -1, -1])
+
+    def test_idempotent(self):
+        labels = np.array([0, 1, -1, 1, 2])
+        once = canonicalize_labels(labels)
+        np.testing.assert_array_equal(once, canonicalize_labels(once))
+
+
+class TestLabelsFromRoots:
+    def test_basic_two_clusters(self):
+        roots = np.array([0, 0, 0, 3, 3, 5])
+        core = np.array([True, True, False, True, True, False])
+        # Without an assigned_mask only core points are cluster members; the
+        # non-core point sharing root 0 stays noise (it was never attached).
+        labels = labels_from_roots(roots, core)
+        np.testing.assert_array_equal(labels, [0, 0, -1, 1, 1, -1])
+        # With it marked as attached it joins cluster 0.
+        assigned = np.array([False, False, True, False, False, False])
+        labels = labels_from_roots(roots, core, assigned_mask=assigned)
+        np.testing.assert_array_equal(labels, [0, 0, 0, 1, 1, -1])
+
+    def test_set_without_core_is_noise(self):
+        roots = np.array([0, 0, 2, 2])
+        core = np.array([True, True, False, False])
+        labels = labels_from_roots(roots, core)
+        np.testing.assert_array_equal(labels, [0, 0, -1, -1])
+
+    def test_assigned_mask_marks_border_points(self):
+        roots = np.array([0, 0, 0, 3])
+        core = np.array([True, True, False, False])
+        assigned = np.array([False, False, True, False])
+        labels = labels_from_roots(roots, core, assigned_mask=assigned)
+        np.testing.assert_array_equal(labels, [0, 0, 0, -1])
+
+    def test_no_core_points_all_noise(self):
+        roots = np.arange(5)
+        core = np.zeros(5, dtype=bool)
+        assert (labels_from_roots(roots, core) == NOISE).all()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            labels_from_roots(np.arange(4), np.zeros(3, dtype=bool))
+
+
+class TestClassifyPoints:
+    def test_classes(self):
+        core = np.array([True, False, False])
+        labels = np.array([0, 0, -1])
+        out = classify_points(core, labels)
+        assert out.tolist() == [PointClass.CORE, PointClass.BORDER, PointClass.NOISE]
+
+
+class TestDBSCANResult:
+    def _result(self):
+        labels = np.array([0, 0, 1, -1, 1, 0])
+        core = np.array([True, True, True, False, False, False])
+        return DBSCANResult(labels=labels, core_mask=core, params=DBSCANParams(1.0, 2))
+
+    def test_counts(self):
+        r = self._result()
+        assert r.num_points == 6
+        assert r.num_clusters == 2
+        assert r.num_noise == 1
+        assert r.border_mask.sum() == 2
+
+    def test_cluster_sizes(self):
+        np.testing.assert_array_equal(self._result().cluster_sizes(), [3, 2])
+
+    def test_summary(self):
+        s = self._result().summary()
+        assert s["num_clusters"] == 2
+        assert s["num_border"] == 2
+        assert s["num_noise"] == 1

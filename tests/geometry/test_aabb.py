@@ -1,0 +1,168 @@
+"""Tests for repro.geometry.aabb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.aabb import (
+    AABB,
+    aabb_centroids,
+    aabb_contains_points,
+    aabb_overlaps,
+    aabb_surface_area,
+    aabb_union,
+)
+
+finite_coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestAABBConstruction:
+    def test_single_box(self):
+        box = AABB([[0, 0, 0]], [[1, 2, 3]])
+        assert len(box) == 1
+        np.testing.assert_allclose(box.extents, [[1, 2, 3]])
+
+    def test_batch_box(self):
+        box = AABB(np.zeros((5, 3)), np.ones((5, 3)))
+        assert len(box) == 5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            AABB(np.zeros((2, 3)), np.ones((3, 3)))
+
+    def test_wrong_columns_raises(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            AABB(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError, match="lower > upper"):
+            AABB([[1, 0, 0]], [[0, 1, 1]])
+
+    def test_empty_box(self):
+        box = AABB.empty(3)
+        assert len(box) == 3
+        assert not aabb_contains_points(box.lower, box.upper, [[0, 0, 0]]).any()
+
+    def test_from_points(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [-1, 5, 2]], dtype=float)
+        box = AABB.from_points(pts)
+        np.testing.assert_allclose(box.lower, [[-1, 0, 0]])
+        np.testing.assert_allclose(box.upper, [[1, 5, 3]])
+
+    def test_from_points_empty(self):
+        box = AABB.from_points(np.empty((0, 3)))
+        assert len(box) == 1
+
+    def test_from_spheres_scalar_radius(self):
+        centers = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        box = AABB.from_spheres(centers, 0.5)
+        np.testing.assert_allclose(box.lower[0], [-0.5, -0.5, -0.5])
+        np.testing.assert_allclose(box.upper[1], [1.5, 1.5, 1.5])
+
+    def test_from_spheres_negative_radius_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AABB.from_spheres(np.zeros((1, 3)), -1.0)
+
+
+class TestAABBQueries:
+    def test_centroids(self):
+        box = AABB([[0, 0, 0]], [[2, 4, 6]])
+        np.testing.assert_allclose(box.centroids, [[1, 2, 3]])
+
+    def test_surface_area_unit_cube(self):
+        box = AABB([[0, 0, 0]], [[1, 1, 1]])
+        np.testing.assert_allclose(box.surface_area(), [6.0])
+
+    def test_surface_area_empty_is_zero(self):
+        box = AABB.empty(2)
+        np.testing.assert_allclose(box.surface_area(), [0.0, 0.0])
+
+    def test_union_all(self):
+        box = AABB([[0, 0, 0], [2, 2, 2]], [[1, 1, 1], [3, 3, 3]])
+        merged = box.union_all()
+        np.testing.assert_allclose(merged.lower, [[0, 0, 0]])
+        np.testing.assert_allclose(merged.upper, [[3, 3, 3]])
+
+    def test_contains_points_inclusive_boundary(self):
+        box = AABB([[0, 0, 0]], [[1, 1, 1]])
+        inside = box.contains_points([[0, 0, 0], [1, 1, 1], [0.5, 0.5, 0.5], [1.1, 0, 0]])
+        assert inside.tolist() == [[True, True, True, False]]
+
+    def test_overlaps_touching_boxes(self):
+        a = AABB([[0, 0, 0]], [[1, 1, 1]])
+        b = AABB([[1, 0, 0]], [[2, 1, 1]])
+        assert a.overlaps(b).all()
+
+    def test_overlaps_disjoint(self):
+        a = AABB([[0, 0, 0]], [[1, 1, 1]])
+        b = AABB([[2, 2, 2]], [[3, 3, 3]])
+        assert not a.overlaps(b).any()
+
+    def test_expanded(self):
+        box = AABB([[0, 0, 0]], [[1, 1, 1]]).expanded(0.5)
+        np.testing.assert_allclose(box.lower, [[-0.5, -0.5, -0.5]])
+        np.testing.assert_allclose(box.upper, [[1.5, 1.5, 1.5]])
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            AABB([[0, 0, 0]], [[1, 1, 1]]).expanded(-0.1)
+
+
+class TestVectorHelpers:
+    def test_union_is_componentwise(self):
+        lo, hi = aabb_union([[0, 0, 0]], [[1, 1, 1]], [[-1, 0.5, 0]], [[0.5, 2, 1]])
+        np.testing.assert_allclose(lo, [[-1, 0, 0]])
+        np.testing.assert_allclose(hi, [[1, 2, 1]])
+
+    def test_centroids_shape_preserved(self):
+        c = aabb_centroids(np.zeros((4, 3)), np.ones((4, 3)))
+        assert c.shape == (4, 3)
+
+    def test_contains_points_matrix_shape(self):
+        m = aabb_contains_points(np.zeros((3, 3)), np.ones((3, 3)), np.zeros((5, 3)))
+        assert m.shape == (3, 5)
+        assert m.all()
+
+
+class TestAABBProperties:
+    @given(
+        pts=arrays(np.float64, (16, 3), elements=finite_coords),
+        radius=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sphere_boxes_contain_their_centers(self, pts, radius):
+        box = AABB.from_spheres(pts, radius)
+        diag = np.arange(16)
+        contained = aabb_contains_points(box.lower, box.upper, pts)[diag, diag]
+        assert contained.all()
+
+    @given(pts=arrays(np.float64, (12, 3), elements=finite_coords))
+    @settings(max_examples=50, deadline=None)
+    def test_union_all_contains_every_point(self, pts):
+        box = AABB.from_points(pts).union_all()
+        assert aabb_contains_points(box.lower, box.upper, pts).all()
+
+    @given(
+        lo=arrays(np.float64, (8, 3), elements=st.floats(-100, 0)),
+        ext=arrays(np.float64, (8, 3), elements=st.floats(0, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_surface_area_non_negative(self, lo, ext):
+        assert (aabb_surface_area(lo, lo + ext) >= 0).all()
+
+    @given(
+        lo=arrays(np.float64, (8, 3), elements=st.floats(-100, 0)),
+        ext=arrays(np.float64, (8, 3), elements=st.floats(0, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_is_symmetric(self, lo, ext):
+        hi = lo + ext
+        other_lo = lo[::-1]
+        other_hi = hi[::-1]
+        ab = aabb_overlaps(lo, hi, other_lo, other_hi)
+        ba = aabb_overlaps(other_lo, other_hi, lo, hi)
+        assert np.array_equal(ab, ba)

@@ -1,0 +1,130 @@
+"""Tests for repro.geometry.morton and repro.geometry.transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.morton import (
+    expand_bits_10,
+    morton3d_30,
+    morton3d_63,
+    morton_order,
+    normalize_to_unit_cube,
+)
+from repro.geometry.transforms import (
+    bounding_extent,
+    lift_to_3d,
+    minmax_normalize,
+    standardize,
+    validate_points,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestMorton:
+    def test_expand_bits_known_value(self):
+        # 0b11 -> bits at positions 0 and 3.
+        assert int(expand_bits_10(np.array([3]))[0]) == 0b1001
+
+    def test_origin_is_zero(self):
+        assert int(morton3d_30(np.array([[0.0, 0.0, 0.0]]))[0]) == 0
+
+    def test_corner_is_max(self):
+        code = int(morton3d_30(np.array([[1.0, 1.0, 1.0]]))[0])
+        assert code == (1 << 30) - 1
+
+    def test_monotone_along_single_axis(self):
+        z = np.linspace(0, 1, 32)
+        coords = np.column_stack([np.zeros(32), np.zeros(32), z])
+        codes = morton3d_30(coords)
+        assert (np.diff(codes.astype(np.int64)) >= 0).all()
+
+    def test_63_bit_resolution_finer_than_30_bit(self):
+        # Two points closer than the 30-bit grid but separated at 21-bit/axis.
+        a = np.array([[0.5, 0.5, 0.5]])
+        b = a + 1e-5
+        assert morton3d_30(a)[0] == morton3d_30(b)[0]
+        assert morton3d_63(a)[0] != morton3d_63(b)[0]
+
+    def test_morton_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-3, 3, size=(100, 3))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_morton_order_deterministic(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(50, 3))
+        assert np.array_equal(morton_order(pts), morton_order(pts))
+
+    def test_morton_order_invalid_bits(self):
+        with pytest.raises(ValueError):
+            morton_order(np.zeros((4, 3)), bits=16)
+
+    @given(pts=arrays(np.float64, (32, 3), elements=unit))
+    @settings(max_examples=50, deadline=None)
+    def test_codes_within_30_bits(self, pts):
+        codes = morton3d_30(pts)
+        assert (codes < (1 << 30)).all()
+
+    def test_normalize_to_unit_cube_degenerate_axis(self):
+        pts = np.array([[1.0, 2.0, 5.0], [2.0, 2.0, 7.0]])
+        out = normalize_to_unit_cube(pts)
+        assert (out[:, 1] == 0.5).all()
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestTransforms:
+    def test_validate_points_accepts_2d_and_3d(self):
+        assert validate_points(np.zeros((4, 2))).shape == (4, 2)
+        assert validate_points(np.zeros((4, 3))).shape == (4, 3)
+
+    def test_validate_points_rejects_high_dim(self):
+        with pytest.raises(ValueError, match="at most 3 dimensions"):
+            validate_points(np.zeros((4, 5)))
+
+    def test_validate_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_points(np.zeros((0, 2)))
+
+    def test_validate_points_rejects_nan(self):
+        pts = np.zeros((3, 2))
+        pts[1, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            validate_points(pts)
+
+    def test_validate_points_rejects_1d(self):
+        with pytest.raises(ValueError):
+            validate_points(np.zeros(5))
+
+    def test_lift_to_3d_appends_zero_z(self):
+        out = lift_to_3d(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert out.shape == (2, 3)
+        assert (out[:, 2] == 0.0).all()
+
+    def test_lift_to_3d_passthrough(self):
+        pts = np.arange(9, dtype=float).reshape(3, 3)
+        np.testing.assert_array_equal(lift_to_3d(pts), pts)
+
+    def test_minmax_normalize_range(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(-7, 9, size=(50, 2))
+        out = minmax_normalize(pts)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_standardize_moments(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(5, 3, size=(500, 3))
+        out = standardize(pts)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_bounding_extent_unit_square(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert bounding_extent(pts) == pytest.approx(np.sqrt(2))

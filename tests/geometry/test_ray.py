@@ -1,0 +1,148 @@
+"""Tests for repro.geometry.ray."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.ray import (
+    EPSILON_RAY_TMAX,
+    RayBatch,
+    make_point_query_rays,
+    point_in_sphere,
+    ray_aabb_intersect,
+    ray_sphere_intersect,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+class TestRayBatch:
+    def test_defaults(self):
+        rays = RayBatch(np.zeros((3, 3)), np.ones((3, 3)))
+        assert len(rays) == 3
+        assert (rays.tmin == 0).all()
+        assert np.isinf(rays.tmax).all()
+
+    def test_scalar_interval_broadcast(self):
+        rays = RayBatch(np.zeros((2, 3)), np.ones((2, 3)), tmin=0.0, tmax=1.0)
+        assert rays.tmax.shape == (2,)
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError, match="tmax"):
+            RayBatch(np.zeros((1, 3)), np.ones((1, 3)), tmin=1.0, tmax=0.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((3, 2)), np.ones((3, 2)))
+
+    def test_point_query_rays_are_infinitesimal(self):
+        rays = make_point_query_rays(np.zeros((5, 3)))
+        assert rays.is_point_query
+        assert (rays.tmax == EPSILON_RAY_TMAX).all()
+        np.testing.assert_allclose(rays.directions[:, 2], 1.0)
+
+
+class TestRayAABB:
+    def test_ray_through_box(self):
+        ok = ray_aabb_intersect(
+            origins=[[-2, 0.5, 0.5]], inv_dirs=[[1.0, np.inf, np.inf]],
+            tmin=[0.0], tmax=[10.0],
+            box_lower=[[0, 0, 0]], box_upper=[[1, 1, 1]],
+        )
+        assert ok.all()
+
+    def test_ray_missing_box(self):
+        ok = ray_aabb_intersect(
+            origins=[[-2, 5, 5]], inv_dirs=[[1.0, np.inf, np.inf]],
+            tmin=[0.0], tmax=[10.0],
+            box_lower=[[0, 0, 0]], box_upper=[[1, 1, 1]],
+        )
+        assert not ok.any()
+
+    def test_origin_inside_box_with_tiny_interval(self):
+        ok = ray_aabb_intersect(
+            origins=[[0.5, 0.5, 0.5]], inv_dirs=[[np.inf, np.inf, 1.0]],
+            tmin=[0.0], tmax=[EPSILON_RAY_TMAX],
+            box_lower=[[0, 0, 0]], box_upper=[[1, 1, 1]],
+        )
+        assert ok.all()
+
+    def test_ray_behind_box_does_not_hit(self):
+        ok = ray_aabb_intersect(
+            origins=[[2, 0.5, 0.5]], inv_dirs=[[1.0, np.inf, np.inf]],
+            tmin=[0.0], tmax=[10.0],
+            box_lower=[[0, 0, 0]], box_upper=[[1, 1, 1]],
+        )
+        assert not ok.any()
+
+
+class TestRaySphere:
+    def test_origin_inside_solid_sphere(self):
+        hit = ray_sphere_intersect(
+            origins=[[0.1, 0, 0]], directions=[[0, 0, 1]],
+            tmin=[0.0], tmax=[EPSILON_RAY_TMAX],
+            centers=[[0, 0, 0]], radii=np.array([0.5]),
+        )
+        assert hit.all()
+
+    def test_origin_outside_tiny_ray_misses(self):
+        hit = ray_sphere_intersect(
+            origins=[[2.0, 0, 0]], directions=[[0, 0, 1]],
+            tmin=[0.0], tmax=[EPSILON_RAY_TMAX],
+            centers=[[0, 0, 0]], radii=np.array([0.5]),
+        )
+        assert not hit.any()
+
+    def test_long_ray_hits_sphere_surface(self):
+        hit = ray_sphere_intersect(
+            origins=[[-5.0, 0, 0]], directions=[[1, 0, 0]],
+            tmin=[0.0], tmax=[100.0],
+            centers=[[0, 0, 0]], radii=np.array([0.5]),
+        )
+        assert hit.all()
+
+    def test_long_ray_misses_offset_sphere(self):
+        hit = ray_sphere_intersect(
+            origins=[[-5.0, 2.0, 0]], directions=[[1, 0, 0]],
+            tmin=[0.0], tmax=[100.0],
+            centers=[[0, 0, 0]], radii=np.array([0.5]),
+        )
+        assert not hit.any()
+
+    def test_boundary_point_counts_as_inside(self):
+        hit = point_in_sphere([[0.5, 0, 0]], [[0, 0, 0]], np.array([0.5]))
+        assert hit.all()
+
+
+class TestReductionProperty:
+    """The core reduction: an ε-ray from q intersects sphere(p, ε) iff |q-p| <= ε."""
+
+    @given(
+        q=arrays(np.float64, (1, 3), elements=coords),
+        p=arrays(np.float64, (1, 3), elements=coords),
+        eps=st.floats(min_value=1e-3, max_value=50.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_epsilon_ray_equivalent_to_distance_test(self, q, p, eps):
+        rays = make_point_query_rays(q)
+        hit = ray_sphere_intersect(
+            rays.origins, rays.directions, rays.tmin, rays.tmax, p, np.array([eps])
+        )
+        expected = np.linalg.norm(q - p) <= eps
+        assert bool(hit[0]) == bool(expected)
+
+    @given(
+        pts=arrays(np.float64, (8, 3), elements=coords),
+        eps=st.floats(min_value=1e-3, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_self_sphere_always_hit(self, pts, eps):
+        rays = make_point_query_rays(pts)
+        hit = ray_sphere_intersect(
+            rays.origins, rays.directions, rays.tmin, rays.tmax, pts, np.full(8, eps)
+        )
+        assert hit.all()

@@ -1,0 +1,133 @@
+"""Tests for the clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbscan.params import DBSCANParams, DBSCANResult
+from repro.metrics.agreement import compare_results, core_partitions_equal, labels_equivalent
+from repro.metrics.ari import (
+    adjusted_rand_index,
+    contingency_matrix,
+    pair_confusion_matrix,
+    rand_index,
+)
+
+labelings = st.lists(st.integers(min_value=-1, max_value=4), min_size=2, max_size=40)
+
+
+class TestARI:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, -1])
+        assert adjusted_rand_index(labels, labels) == 1.0
+        assert rand_index(labels, labels) == 1.0
+
+    def test_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_completely_split_vs_merged(self):
+        a = np.zeros(10, dtype=int)
+        b = np.arange(10)
+        assert adjusted_rand_index(a, b) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # Classic example: ARI is symmetric and below 1 for partial agreement.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        val = adjusted_rand_index(a, b)
+        assert 0.0 < val < 1.0
+        assert val == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_contingency_matrix_sums_to_n(self):
+        a = np.array([0, 0, 1, 1, -1])
+        b = np.array([1, 1, 0, -1, -1])
+        assert contingency_matrix(a, b).sum() == 5
+
+    def test_pair_confusion_total(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert pair_confusion_matrix(a, b).sum() == 4 * 3
+
+    @given(labels=labelings)
+    @settings(max_examples=100, deadline=None)
+    def test_property_self_agreement(self, labels):
+        arr = np.asarray(labels)
+        assert adjusted_rand_index(arr, arr) == 1.0
+
+    @given(labels=labelings, shift=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_invariant_to_relabeling(self, labels, shift):
+        arr = np.asarray(labels)
+        relabeled = np.where(arr >= 0, (arr + shift) % 6 + 10, arr)
+        assert adjusted_rand_index(arr, relabeled) == pytest.approx(1.0)
+
+
+def _make_result(labels, core, eps=0.5, min_pts=3):
+    return DBSCANResult(
+        labels=np.asarray(labels),
+        core_mask=np.asarray(core, dtype=bool),
+        params=DBSCANParams(eps, min_pts),
+    )
+
+
+class TestAgreement:
+    def test_identical_results_equivalent(self):
+        a = _make_result([0, 0, 1, -1], [True, True, True, False])
+        b = _make_result([0, 0, 1, -1], [True, True, True, False])
+        report = compare_results(a, b)
+        assert report.equivalent
+        assert report.ari == 1.0
+
+    def test_different_core_masks_not_equivalent(self):
+        a = _make_result([0, 0, 1, -1], [True, True, True, False])
+        b = _make_result([0, 0, 1, -1], [True, False, True, False])
+        assert not compare_results(a, b).equivalent
+
+    def test_core_partition_mismatch_detected(self):
+        a = _make_result([0, 0, 1, 1], [True, True, True, True])
+        b = _make_result([0, 0, 0, 0], [True, True, True, True])
+        report = compare_results(a, b)
+        assert not report.core_partition_equal
+        assert not report.equivalent
+
+    def test_border_tie_breaking_allowed(self):
+        # Point 2 is a border point between two clusters; the two results
+        # assign it differently, which is still DBSCAN-equivalent.
+        pts = np.array([[0.0, 0.0], [0.4, 0.0], [0.2, 0.0], [1.0, 1.0]])
+        core = [True, True, False, False]
+        a = _make_result([0, 1, 0, -1], core, eps=0.25)
+        b = _make_result([0, 1, 1, -1], core, eps=0.25)
+        report = compare_results(a, b, points=pts)
+        assert report.core_mask_equal and report.noise_mask_equal
+        assert report.core_partition_equal
+        assert report.border_assignment_valid
+        assert report.equivalent
+
+    def test_invalid_border_assignment_detected(self):
+        # Border point assigned to a cluster with no core point within eps.
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.1, 0.0], [10.1, 0.0]])
+        core = [True, True, False, False]
+        good = _make_result([0, 1, 0, 1], core, eps=0.25)
+        bad = _make_result([0, 1, 1, 0], core, eps=0.25)
+        assert compare_results(good, good, points=pts).equivalent
+        assert not compare_results(good, bad, points=pts).border_assignment_valid
+
+    def test_core_partitions_equal_requires_bijection(self):
+        core = np.array([True, True, True])
+        assert core_partitions_equal([0, 0, 1], [5, 5, 7], core)
+        assert not core_partitions_equal([0, 0, 1], [5, 6, 7], core)
+        assert not core_partitions_equal([0, 1, 1], [5, 5, 5], core)
+
+    def test_labels_equivalent_shorthand(self):
+        a = _make_result([0, -1], [True, False])
+        b = _make_result([0, -1], [True, False])
+        assert labels_equivalent(a, b)

@@ -1,0 +1,176 @@
+"""Tests for the device cost model, phase timing and memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cost_model import DEFAULT_COST_MODEL, DeviceCostModel, OpCounts
+from repro.perf.memory import DeviceMemoryError, MemoryTracker, estimate_adjacency_bytes
+from repro.perf.timing import ExecutionReport, Phase, PhaseTimer
+
+
+class TestOpCounts:
+    def test_merge_adds_fields(self):
+        a = OpCounts(rt_node_visits=10, union_ops=2)
+        b = OpCounts(rt_node_visits=5, distance_computations=7)
+        a.merge(b)
+        assert a.rt_node_visits == 15
+        assert a.distance_computations == 7
+        assert a.union_ops == 2
+
+    def test_as_dict_roundtrip(self):
+        c = OpCounts(anyhit_calls=3)
+        assert c.as_dict()["anyhit_calls"] == 3
+
+
+class TestDeviceCostModel:
+    def test_calibration_ratios(self):
+        m = DEFAULT_COST_MODEL
+        # Paper Section V-D: OptiX build ~2-2.5x the plain build; RT traversal
+        # about an order of magnitude cheaper per node than shader traversal.
+        assert 1.5 <= m.rt_build_per_prim_ns / m.sm_build_per_prim_ns <= 3.0
+        assert 5.0 <= m.sm_node_visit_ns / m.rt_node_visit_ns <= 20.0
+        assert m.anyhit_call_ns > m.intersection_call_ns
+
+    def test_time_is_linear_in_counts(self):
+        m = DEFAULT_COST_MODEL
+        one = m.time_s(OpCounts(sm_node_visits=1000))
+        two = m.time_s(OpCounts(sm_node_visits=2000))
+        assert two == pytest.approx(2 * one)
+
+    def test_build_time_rt_includes_setup(self):
+        m = DEFAULT_COST_MODEL
+        rt = m.build_time_s(0, unit="rt")
+        sm = m.build_time_s(0, unit="sm")
+        assert rt > sm
+        assert rt == pytest.approx((m.rt_setup_ns + m.kernel_launch_ns) * 1e-9)
+
+    def test_build_time_monotone_in_size(self):
+        m = DEFAULT_COST_MODEL
+        assert m.build_time_s(2_000_000) > m.build_time_s(1_000_000)
+
+    def test_rt_build_more_expensive_per_prim_but_cheaper_traversal(self):
+        m = DEFAULT_COST_MODEL
+        n = 1_000_000
+        assert m.build_time_s(n, unit="rt") > m.build_time_s(n, unit="sm")
+        visits = OpCounts(rt_node_visits=10**7)
+        sm_visits = OpCounts(sm_node_visits=10**7)
+        assert m.time_s(visits) < m.time_s(sm_visits)
+
+    def test_with_overrides(self):
+        m = DEFAULT_COST_MODEL.with_overrides(rt_node_visit_ns=123.0)
+        assert m.rt_node_visit_ns == 123.0
+        assert m.sm_node_visit_ns == DEFAULT_COST_MODEL.sm_node_visit_ns
+
+    @given(
+        visits=st.integers(min_value=0, max_value=10**9),
+        calls=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_time_non_negative_and_monotone(self, visits, calls):
+        m = DEFAULT_COST_MODEL
+        t = m.time_s(OpCounts(rt_node_visits=visits, intersection_calls=calls))
+        t_more = m.time_s(OpCounts(rt_node_visits=visits + 1, intersection_calls=calls))
+        assert t >= 0
+        assert t_more >= t
+
+
+class TestMemoryTracker:
+    def test_allocate_and_free(self):
+        mem = MemoryTracker(capacity_bytes=1000)
+        mem.allocate("a", 400)
+        mem.allocate("b", 500)
+        assert mem.used_bytes == 900
+        assert mem.free_bytes == 100
+        mem.free("a")
+        assert mem.used_bytes == 500
+
+    def test_overflow_raises_with_label(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError, match="big_buffer"):
+            mem.allocate("big_buffer", 200)
+
+    def test_negative_allocation_raises(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        with pytest.raises(ValueError):
+            mem.allocate("x", -1)
+
+    def test_free_unknown_label_is_noop(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.free("nothing")
+        assert mem.used_bytes == 0
+
+    def test_reset(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate("x", 50)
+        mem.reset()
+        assert mem.used_bytes == 0
+
+    def test_repeat_label_accumulates(self):
+        mem = MemoryTracker(capacity_bytes=100)
+        mem.allocate("x", 30)
+        mem.allocate("x", 30)
+        assert mem.allocations["x"] == 60
+
+
+class TestAdjacencyEstimate:
+    def test_scales_with_degree(self):
+        small = estimate_adjacency_bytes(1000, 10)
+        large = estimate_adjacency_bytes(1000, 100)
+        assert large > small
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            estimate_adjacency_bytes(-1, 10)
+
+
+class TestPhaseTimer:
+    def test_phases_recorded_in_order(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        with timer.phase("a") as counts:
+            counts.union_ops += 10
+        with timer.phase("b"):
+            pass
+        report = timer.report()
+        assert [p.name for p in report.phases] == ["a", "b"]
+        assert report.phase("a").simulated_seconds > 0
+        assert report.phase("b").simulated_seconds == 0
+
+    def test_simulated_override(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        with timer.phase("build", simulated_seconds=1.5):
+            pass
+        assert timer.report().phase("build").simulated_seconds == 1.5
+
+    def test_add_phase_direct(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        timer.add_phase("x", counts=OpCounts(distance_computations=100))
+        assert timer.report().phase("x").simulated_seconds > 0
+
+    def test_missing_phase_raises(self):
+        report = ExecutionReport("algo", [Phase("only")])
+        with pytest.raises(KeyError):
+            report.phase("other")
+
+    def test_fraction_and_breakdown(self):
+        report = ExecutionReport(
+            "algo",
+            [Phase("a", simulated_seconds=1.0), Phase("b", simulated_seconds=3.0)],
+        )
+        assert report.total_simulated_seconds == 4.0
+        assert report.fraction("b") == pytest.approx(0.75)
+        assert report.breakdown() == {"a": 1.0, "b": 3.0}
+
+    def test_fraction_of_empty_report(self):
+        assert ExecutionReport("algo").total_simulated_seconds == 0
+
+    def test_as_dict(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        with timer.phase("a"):
+            pass
+        d = timer.report().as_dict()
+        assert d["algorithm"] == "algo"
+        assert len(d["phases"]) == 1

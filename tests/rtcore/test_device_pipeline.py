@@ -1,0 +1,172 @@
+"""Tests for the simulated RT device and the OptiX-style pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.sphere import SphereGeometry
+from repro.perf.cost_model import DeviceCostModel, OpCounts
+from repro.perf.memory import DeviceMemoryError
+from repro.rtcore.device import RTDevice
+from repro.rtcore.pipeline import ScenePipeline
+from repro.rtcore.programs import ProgramGroup, sphere_intersection_program
+
+
+def _sphere_scene(n=200, radius=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.column_stack([rng.uniform(-5, 5, (n, 2)), np.zeros(n)])
+    return centers, SphereGeometry(centers, radius)
+
+
+class TestRTDevice:
+    def test_default_memory_capacity_is_6gb(self):
+        dev = RTDevice()
+        assert dev.memory.capacity_bytes == 6 * 1024**3
+
+    def test_charge_accumulates_counts(self):
+        dev = RTDevice()
+        dev.charge(OpCounts(rt_node_visits=100))
+        dev.charge(OpCounts(rt_node_visits=50, intersection_calls=10))
+        assert dev.total_counts.rt_node_visits == 150
+        assert dev.total_counts.intersection_calls == 10
+
+    def test_charge_returns_simulated_seconds(self):
+        dev = RTDevice()
+        t = dev.charge(OpCounts(rt_node_visits=1_000_000))
+        assert t == pytest.approx(1_000_000 * dev.cost_model.rt_node_visit_ns * 1e-9)
+
+    def test_accel_build_unit_depends_on_rt_cores(self):
+        with_rt = RTDevice(has_rt_cores=True)
+        without = RTDevice(has_rt_cores=False)
+        assert with_rt.accel_build_seconds(100_000) > without.accel_build_seconds(100_000)
+
+    def test_node_visit_field(self):
+        assert RTDevice(has_rt_cores=True).node_visit_field() == "rt_node_visits"
+        assert RTDevice(has_rt_cores=False).node_visit_field() == "sm_node_visits"
+
+    def test_reset_clears_state(self):
+        dev = RTDevice()
+        dev.charge(OpCounts(union_ops=5))
+        dev.memory.allocate("x", 100)
+        dev.reset()
+        assert dev.total_counts.union_ops == 0
+        assert dev.memory.used_bytes == 0
+
+    def test_summary_keys(self):
+        s = RTDevice().summary()
+        assert {"name", "has_rt_cores", "memory_used_bytes", "counts"} <= set(s)
+
+
+class TestScenePipeline:
+    def test_build_accel_charges_memory(self):
+        centers, geom = _sphere_scene()
+        dev = RTDevice()
+        pipe = ScenePipeline(device=dev, geometry=geom)
+        t = pipe.build_accel()
+        assert t > 0
+        assert dev.memory.used_bytes > 0
+        pipe.release()
+        assert dev.memory.used_bytes == 0
+
+    def test_launch_before_build_raises(self):
+        centers, geom = _sphere_scene()
+        pipe = ScenePipeline(device=RTDevice(), geometry=geom)
+        programs = ProgramGroup(intersection=sphere_intersection_program(centers, 0.5))
+        with pytest.raises(RuntimeError, match="build_accel"):
+            pipe.launch_hit_queries(centers, programs)
+
+    def test_unknown_builder_raises(self):
+        centers, geom = _sphere_scene()
+        pipe = ScenePipeline(device=RTDevice(), geometry=geom, builder="bad")
+        with pytest.raises(ValueError, match="builder"):
+            pipe.build_accel()
+
+    def test_hit_queries_match_brute_force(self):
+        centers, geom = _sphere_scene(150, radius=0.8)
+        dev = RTDevice()
+        pipe = ScenePipeline(device=dev, geometry=geom)
+        pipe.build_accel()
+        programs = ProgramGroup(
+            intersection=sphere_intersection_program(centers, 0.8, exclude_self=True)
+        )
+        qi, pi, stats = pipe.launch_hit_queries(centers, programs)
+        got = set(zip(qi.tolist(), pi.tolist()))
+        d2 = ((centers[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        exp_q, exp_p = np.nonzero((d2 <= 0.8**2) & ~np.eye(len(centers), dtype=bool))
+        assert got == set(zip(exp_q.tolist(), exp_p.tolist()))
+        assert stats.confirmed_hits == len(got)
+        assert stats.simulated_seconds > 0
+
+    def test_count_queries_match_hit_queries(self):
+        centers, geom = _sphere_scene(120, radius=0.6)
+        pipe = ScenePipeline(device=RTDevice(), geometry=geom)
+        pipe.build_accel()
+        programs = ProgramGroup(
+            intersection=sphere_intersection_program(centers, 0.6, exclude_self=True)
+        )
+        counts, _ = pipe.launch_count_queries(centers, programs)
+        qi, _, _ = pipe.launch_hit_queries(centers, programs)
+        np.testing.assert_array_equal(counts, np.bincount(qi, minlength=len(centers)))
+
+    def test_anyhit_program_invoked_and_charged(self):
+        centers, geom = _sphere_scene(60, radius=0.7)
+        dev = RTDevice()
+        pipe = ScenePipeline(device=dev, geometry=geom)
+        pipe.build_accel()
+        seen = []
+        programs = ProgramGroup(
+            intersection=sphere_intersection_program(centers, 0.7, exclude_self=True),
+            anyhit=lambda q, p: seen.append(q.size),
+        )
+        _, _, stats = pipe.launch_hit_queries(centers, programs)
+        assert sum(seen) == stats.confirmed_hits
+        assert stats.anyhit_calls == stats.confirmed_hits
+        assert dev.total_counts.anyhit_calls == stats.confirmed_hits
+
+    def test_miss_program_sees_isolated_queries(self):
+        centers = np.array([[0.0, 0.0, 0.0], [100.0, 0.0, 0.0]])
+        geom = SphereGeometry(centers, 0.5)
+        pipe = ScenePipeline(device=RTDevice(), geometry=geom)
+        pipe.build_accel()
+        missed = []
+        programs = ProgramGroup(
+            intersection=sphere_intersection_program(centers, 0.5, exclude_self=True),
+            miss=lambda idx: missed.extend(idx.tolist()),
+        )
+        pipe.launch_hit_queries(centers, programs)
+        assert set(missed) == {0, 1}
+
+    def test_no_rt_cores_charges_sm_visits(self):
+        centers, geom = _sphere_scene(80)
+        dev = RTDevice(has_rt_cores=False)
+        pipe = ScenePipeline(device=dev, geometry=geom)
+        pipe.build_accel()
+        programs = ProgramGroup(intersection=sphere_intersection_program(centers, 0.5))
+        pipe.launch_hit_queries(centers, programs)
+        assert dev.total_counts.sm_node_visits > 0
+        assert dev.total_counts.rt_node_visits == 0
+
+    def test_memory_exhaustion_raises(self):
+        centers, geom = _sphere_scene(1000)
+        small = DeviceCostModel(device_memory_bytes=1000)
+        dev = RTDevice(cost_model=small)
+        pipe = ScenePipeline(device=dev, geometry=geom)
+        with pytest.raises(DeviceMemoryError):
+            pipe.build_accel()
+
+
+class TestIntersectionProgram:
+    def test_exclude_self_flag(self):
+        centers = np.zeros((3, 3))
+        with_self = sphere_intersection_program(centers, 1.0, exclude_self=False)
+        without = sphere_intersection_program(centers, 1.0, exclude_self=True)
+        q = np.array([0, 1])
+        p = np.array([0, 2])
+        assert with_self(q, p).tolist() == [True, True]
+        assert without(q, p).tolist() == [False, True]
+
+    def test_distance_filtering(self):
+        centers = np.array([[0.0, 0.0, 0.0], [5.0, 0.0, 0.0]])
+        prog = sphere_intersection_program(centers, 1.0)
+        assert prog(np.array([0]), np.array([1])).tolist() == [False]
