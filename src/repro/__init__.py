@@ -13,7 +13,10 @@ the complete system in Python on top of a *simulated* RT device:
 * :mod:`repro.dbscan`  — RT-DBSCAN (Algorithm 3) and the sequential oracle;
 * :mod:`repro.baselines` — the GPU comparators (FDBSCAN, G-DBSCAN,
   CUDA-DClust+);
-* :mod:`repro.data`    — synthetic equivalents of the paper's datasets;
+* :mod:`repro.streaming` — incremental window clustering over point streams
+  with refit-aware scene maintenance;
+* :mod:`repro.data`    — synthetic equivalents of the paper's datasets and
+  chunked stream generators;
 * :mod:`repro.perf` / :mod:`repro.metrics` / :mod:`repro.bench` — cost model,
   agreement metrics and the per-figure benchmark harness.
 
@@ -32,8 +35,9 @@ from .dbscan import RTDBSCAN, DBSCANParams, DBSCANResult, classic_dbscan, rt_dbs
 from .neighbors import RTNeighborFinder, rt_find_neighbors
 from .perf import DEFAULT_COST_MODEL, DeviceCostModel
 from .rtcore import RTDevice, owl_context_create
+from .streaming import RefitPolicy, StreamingRTDBSCAN, StreamUpdate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CUDADClustPlus",
@@ -53,5 +57,8 @@ __all__ = [
     "DeviceCostModel",
     "RTDevice",
     "owl_context_create",
+    "RefitPolicy",
+    "StreamingRTDBSCAN",
+    "StreamUpdate",
     "__version__",
 ]

@@ -18,10 +18,36 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.registry import generate
+from ..data.stream import make_stream
 from ..neighbors.knn import kth_neighbor_distances
 from .runner import RunRecord, run_sweep
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment", "list_experiments"]
+__all__ = [
+    "calibrate_eps",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "list_experiments",
+    "StreamingExperimentSpec",
+    "StreamingRunResult",
+    "STREAMING_EXPERIMENTS",
+    "get_streaming_experiment",
+    "list_streaming_experiments",
+    "run_streaming",
+    "run_streaming_experiment",
+]
+
+
+def calibrate_eps(points: np.ndarray, min_pts: int, quantile: float) -> float:
+    """Reference ε from the k-distance heuristic (shared by batch and stream).
+
+    The k-th neighbour distance distribution is evaluated at the given
+    quantile with ``k = min(min_pts, n - 1)`` — the procedure every
+    experiment uses so that different runs on the same data are comparable.
+    """
+    k = min(min_pts, points.shape[0] - 1)
+    return float(np.quantile(kth_neighbor_distances(points, k), quantile))
 
 
 @dataclass(frozen=True)
@@ -59,9 +85,7 @@ class ExperimentSpec:
 
     def calibrate_eps(self, points: np.ndarray) -> float:
         """Reference ε from the k-distance heuristic on the given points."""
-        k = min(self.min_pts, points.shape[0] - 1)
-        dists = kth_neighbor_distances(points, k)
-        return float(np.quantile(dists, self.eps_quantile))
+        return calibrate_eps(points, self.min_pts, self.eps_quantile)
 
     def eps_values(self, points: np.ndarray) -> list[float]:
         """Concrete ε values for this experiment on the given points."""
@@ -339,6 +363,210 @@ _register(ExperimentSpec(
     description="Paper: approximating spheres with triangles is 2x-5x slower because every hit "
                 "must be routed through the AnyHit program.",
 ))
+
+
+# -------------------------------------------------------------------------- #
+# Streaming experiments — beyond the paper: the same RT-DBSCAN machinery
+# driven by a continuous feed, with the acceleration structure refit rather
+# than rebuilt between window updates.
+# -------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StreamingExperimentSpec:
+    """One streaming workload: a stream shape plus window/chunk geometry."""
+
+    id: str
+    title: str
+    stream: str  # name registered in repro.data.stream.STREAMS
+    num_chunks: int
+    chunk_size: int
+    window: int | None
+    min_pts: int
+    #: absolute ε, or None to calibrate with the k-distance heuristic.
+    eps_absolute: float | None = None
+    eps_quantile: float = 0.30
+    seed: int = 2023
+    description: str = ""
+    stream_kwargs: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class StreamingRunResult:
+    """Per-update records plus engine totals for one streaming run."""
+
+    spec_id: str
+    mode: str
+    eps: float
+    min_pts: int
+    updates: list  # list[StreamUpdate]
+    summary: dict
+
+    @property
+    def maintenance_seconds(self) -> float:
+        """Total simulated time spent keeping the accel structure fresh."""
+        return sum(
+            u.report.phase("scene_update").simulated_seconds for u in self.updates if u.report
+        )
+
+    @property
+    def updates_per_simulated_second(self) -> float:
+        total = self.summary["total_simulated_seconds"]
+        return len(self.updates) / total if total else float("inf")
+
+    @property
+    def points_per_simulated_second(self) -> float:
+        total = self.summary["total_simulated_seconds"]
+        return self.summary["points_ingested"] / total if total else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "spec_id": self.spec_id,
+            "mode": self.mode,
+            "eps": self.eps,
+            "min_pts": self.min_pts,
+            "updates": [u.as_dict() for u in self.updates],
+            "summary": dict(self.summary),
+            "maintenance_seconds": self.maintenance_seconds,
+            "updates_per_simulated_second": self.updates_per_simulated_second,
+            "points_per_simulated_second": self.points_per_simulated_second,
+        }
+
+
+STREAMING_EXPERIMENTS: dict[str, StreamingExperimentSpec] = {}
+
+
+def _register_streaming(spec: StreamingExperimentSpec) -> StreamingExperimentSpec:
+    STREAMING_EXPERIMENTS[spec.id] = spec
+    return spec
+
+
+_register_streaming(StreamingExperimentSpec(
+    id="stream-drift",
+    title="Sliding-window clustering of drifting Gaussian blobs",
+    stream="drift-blobs",
+    num_chunks=16,
+    chunk_size=150,
+    window=1800,
+    min_pts=5,
+    description="Small chunks into a large window: the refit-friendly regime where "
+                "the auto policy should rebuild rarely and win on maintenance time.",
+))
+
+_register_streaming(StreamingExperimentSpec(
+    id="stream-burst",
+    title="Burst hotspots over uniform background (promotion/demotion stress)",
+    stream="burst-hotspots",
+    num_chunks=12,
+    chunk_size=200,
+    window=800,
+    min_pts=8,
+    description="Cluster count oscillates as bursts enter and leave the window; "
+                "exercises the eviction-triggered re-clustering path.",
+))
+
+_register_streaming(StreamingExperimentSpec(
+    id="stream-ngsim",
+    title="NGSIM corridor replay at the paper's eps (dense, zero clusters)",
+    stream="ngsim-replay",
+    num_chunks=10,
+    chunk_size=300,
+    window=1500,
+    min_pts=100,
+    eps_absolute=0.0005,
+    description="The Section V-C regime as a feed: neighbourhoods are empty, so "
+                "updates are traversal-bound and throughput is maximal.",
+))
+
+
+def get_streaming_experiment(exp_id: str) -> StreamingExperimentSpec:
+    """Look up a streaming experiment by id (case-insensitive)."""
+    key = exp_id.lower()
+    if key not in STREAMING_EXPERIMENTS:
+        raise KeyError(
+            f"unknown streaming experiment {exp_id!r}; available: "
+            f"{sorted(STREAMING_EXPERIMENTS)}"
+        )
+    return STREAMING_EXPERIMENTS[key]
+
+
+def list_streaming_experiments() -> list[str]:
+    """Ids of all registered streaming experiments."""
+    return sorted(STREAMING_EXPERIMENTS)
+
+
+def run_streaming(
+    stream: str,
+    num_chunks: int,
+    chunk_size: int,
+    *,
+    window: int | None = None,
+    eps: float | None = None,
+    min_pts: int = 5,
+    eps_quantile: float = 0.30,
+    seed: int = 2023,
+    mode: str = "auto",
+    stream_kwargs: dict | None = None,
+    spec_id: str = "custom",
+) -> StreamingRunResult:
+    """Run the streaming engine over a named stream and collect records.
+
+    ``eps=None`` calibrates ε with the k-distance heuristic over the whole
+    materialised stream (the same procedure the batch experiments use), so
+    streaming and batch runs on the same feed are directly comparable.
+    ``mode`` selects the refit policy — ``"rebuild"`` is the per-chunk
+    rebuild baseline the throughput benchmark compares against.
+    """
+    from ..streaming import RefitPolicy, StreamingRTDBSCAN
+
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be a positive integer")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be a positive integer")
+    chunks = list(make_stream(stream, num_chunks, chunk_size, seed=seed,
+                              **(stream_kwargs or {})))
+    if eps is None:
+        eps = calibrate_eps(np.vstack(chunks), min_pts, eps_quantile)
+
+    capacity = (window + chunk_size) if window is not None else chunk_size
+    engine = StreamingRTDBSCAN(
+        eps,
+        min_pts,
+        window=window,
+        policy=RefitPolicy(mode=mode),
+        initial_capacity=max(256, capacity),
+    )
+    updates = engine.consume(chunks)
+    return StreamingRunResult(
+        spec_id=spec_id,
+        mode=mode,
+        eps=float(eps),
+        min_pts=int(min_pts),
+        updates=updates,
+        summary=engine.summary(),
+    )
+
+
+def run_streaming_experiment(
+    exp_id: str, *, scale: float = 1.0, mode: str = "auto"
+) -> StreamingRunResult:
+    """Run one registered streaming experiment at the given scale."""
+    spec = get_streaming_experiment(exp_id)
+    chunk_size = max(50, int(round(spec.chunk_size * scale)))
+    window = None if spec.window is None else max(2 * chunk_size, int(round(spec.window * scale)))
+    return run_streaming(
+        spec.stream,
+        spec.num_chunks,
+        chunk_size,
+        window=window,
+        eps=spec.eps_absolute,
+        min_pts=spec.min_pts,
+        eps_quantile=spec.eps_quantile,
+        seed=spec.seed,
+        mode=mode,
+        stream_kwargs=dict(spec.stream_kwargs),
+        spec_id=spec.id,
+    )
 
 
 # -------------------------------------------------------------------------- #

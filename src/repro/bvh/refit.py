@@ -30,12 +30,17 @@ def refit(bvh: BVH, new_bounds: AABB) -> BVH:
     node_lower = bvh.node_lower.copy()
     node_upper = bvh.node_upper.copy()
 
-    # Recompute leaf bounds.
+    # Recompute leaf bounds.  Leaf ranges are disjoint and cover the
+    # primitive permutation exactly once, so ordered by start they tile
+    # ``prim_indices`` and a segmented reduction handles every leaf at once.
     leaf_ids = np.flatnonzero(bvh.leaf_mask)
-    for i in leaf_ids:
-        prims = bvh.prim_indices[bvh.prim_start[i] : bvh.prim_start[i] + bvh.prim_count[i]]
-        node_lower[i] = new_lower[prims].min(axis=0)
-        node_upper[i] = new_upper[prims].max(axis=0)
+    order = np.argsort(bvh.prim_start[leaf_ids], kind="stable")
+    leaf_ids = leaf_ids[order]
+    starts = bvh.prim_start[leaf_ids]
+    gathered_lower = new_lower[bvh.prim_indices]
+    gathered_upper = new_upper[bvh.prim_indices]
+    node_lower[leaf_ids] = np.minimum.reduceat(gathered_lower, starts, axis=0)
+    node_upper[leaf_ids] = np.maximum.reduceat(gathered_upper, starts, axis=0)
 
     # Propagate upwards by repeatedly tightening parents until a fixed point.
     # Nodes were emitted in BFS order by the LBVH builder and pre-order by the
@@ -57,7 +62,7 @@ def refit(bvh: BVH, new_bounds: AABB) -> BVH:
         prim_indices=bvh.prim_indices,
         prim_lower=new_lower,
         prim_upper=new_upper,
-        builder=bvh.builder + "+refit",
+        builder=bvh.builder if bvh.builder.endswith("+refit") else bvh.builder + "+refit",
         leaf_size=bvh.leaf_size,
         build_stats=dict(bvh.build_stats),
     )

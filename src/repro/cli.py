@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``rt-dbscan cluster``     — run a DBSCAN variant on a CSV file or a named
   synthetic dataset and print (or save) the labels;
+* ``rt-dbscan stream``      — run the streaming engine over a synthetic
+  point stream (sliding window, refit-aware scene maintenance) and print
+  per-chunk progress plus throughput totals;
 * ``rt-dbscan experiment``  — regenerate one of the paper's tables/figures
   (by experiment id, see ``rt-dbscan list``) and print the report;
-* ``rt-dbscan list``        — list available datasets, algorithms and
-  experiments.
+* ``rt-dbscan list``        — list available datasets, streams, algorithms
+  and experiments.
 
 The console script is installed as ``rt-dbscan``; the module can also be run
 with ``python -m repro.cli``.
@@ -18,15 +21,51 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import textwrap
 
 import numpy as np
 
-from .bench.experiments import get_experiment, list_experiments, run_experiment
+from .bench.experiments import (
+    get_experiment,
+    get_streaming_experiment,
+    list_experiments,
+    list_streaming_experiments,
+    run_experiment,
+    run_streaming,
+)
 from .bench.report import format_breakdown, format_records, format_speedup_table, format_time_table
 from .bench.runner import ALGORITHMS, run_single
 from .data.registry import generate, list_datasets
+from .data.stream import list_streams
 
 __all__ = ["main", "build_parser"]
+
+#: shown by ``rt-dbscan stream --help`` so the help output doubles as docs.
+STREAM_EPILOG = textwrap.dedent(
+    """\
+    examples:
+      # sliding-window clustering of drifting blobs; the cost-model policy
+      # decides per chunk whether to refit or rebuild the BVH
+      rt-dbscan stream --stream drift-blobs --chunks 16 --chunk-size 150 \\
+          --window 1800 --min-pts 5
+
+      # the paper's dense NGSIM corridor (Section V-C) replayed as a feed
+      rt-dbscan stream --stream ngsim-replay --chunks 10 --chunk-size 300 \\
+          --window 1500 --eps 0.0005 --min-pts 100
+
+      # force a rebuild on every chunk to measure what refit saves
+      rt-dbscan stream --stream drift-blobs --mode rebuild
+
+      # machine-readable per-chunk records and totals
+      rt-dbscan stream --stream burst-hotspots --json
+
+    Omitting --eps calibrates it with the k-distance heuristic over the
+    materialised stream (quantile 0.30), the same procedure the batch
+    experiments use.  Omitting --window grows the window without bound
+    (no evictions), in which case the final labels are identical to batch
+    rt-dbscan on the concatenated stream.
+    """
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +91,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="which implementation to run (default rt-dbscan)")
     p_cluster.add_argument("--output", help="write labels (one per line) to this file")
     p_cluster.add_argument("--json", action="store_true", help="print the summary as JSON")
+
+    # -- stream ----------------------------------------------------------- #
+    p_stream = sub.add_parser(
+        "stream",
+        help="run streaming RT-DBSCAN over a synthetic point stream",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=STREAM_EPILOG,
+    )
+    p_stream.add_argument("--stream", default="drift-blobs", choices=list_streams(),
+                          help="named stream generator (default drift-blobs)")
+    p_stream.add_argument("--chunks", type=int, default=12,
+                          help="number of chunks to feed (default 12)")
+    p_stream.add_argument("--chunk-size", type=int, default=200,
+                          help="points per chunk (default 200)")
+    p_stream.add_argument("--window", type=int, default=None,
+                          help="sliding-window size in points (default: grow unbounded)")
+    p_stream.add_argument("--eps", type=float, default=None,
+                          help="DBSCAN eps (default: k-distance calibration over the stream)")
+    p_stream.add_argument("--min-pts", type=int, default=5, help="DBSCAN minPts (default 5)")
+    p_stream.add_argument("--mode", default="auto", choices=("auto", "refit", "rebuild"),
+                          help="scene maintenance policy (default auto = cost-model driven)")
+    p_stream.add_argument("--seed", type=int, default=2023, help="stream generator seed")
+    p_stream.add_argument("--json", action="store_true",
+                          help="print per-chunk records and totals as JSON")
 
     # -- experiment ------------------------------------------------------ #
     p_exp = sub.add_parser("experiment", help="regenerate one of the paper's tables/figures")
@@ -100,6 +163,45 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if record.status == "ok" else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    result = run_streaming(
+        args.stream,
+        args.chunks,
+        args.chunk_size,
+        window=args.window,
+        eps=args.eps,
+        min_pts=args.min_pts,
+        seed=args.seed,
+        mode=args.mode,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+
+    print(f"# streaming rt-dbscan: stream={args.stream} mode={args.mode} "
+          f"eps={result.eps:.6g} minPts={result.min_pts} window={args.window or 'unbounded'}")
+    header = (f"{'chunk':>5} {'new':>6} {'evict':>6} {'window':>7} {'clusters':>8} "
+              f"{'noise':>6} {'accel':>8} {'sim_s':>12}")
+    print(header)
+    print("-" * len(header))
+    for u in result.updates:
+        print(f"{u.chunk_index:>5} {u.num_new:>6} {u.num_evicted:>6} {u.window_size:>7} "
+              f"{u.num_clusters:>8} {u.num_noise:>6} {u.accel_action:>8} "
+              f"{u.simulated_seconds:>12.6f}")
+    s = result.summary
+    scene = s["scene"]
+    print()
+    print(f"totals: {s['points_ingested']} points in {s['num_updates']} updates "
+          f"({s['points_evicted']} evicted)")
+    print(f"  accel maintenance: {scene['num_refits']} refits, {scene['num_builds']} builds "
+          f"({result.maintenance_seconds:.6f} simulated s)")
+    print(f"  throughput: {result.updates_per_simulated_second:,.1f} updates/s, "
+          f"{result.points_per_simulated_second:,.0f} points/s (simulated)")
+    print(f"  simulated total: {s['total_simulated_seconds']:.6f} s, "
+          f"wall total: {s['total_wall_seconds']:.3f} s")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.id)
     records = run_experiment(args.id, scale=args.scale)
@@ -129,13 +231,20 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("datasets:")
     for name in list_datasets():
         print(f"  {name}")
+    print("streams:")
+    for name in list_streams():
+        print(f"  {name}")
     print("algorithms:")
-    for name in sorted(ALGORITHMS) + ["classic"]:
+    for name in sorted(ALGORITHMS) + ["classic", "streaming-rt-dbscan"]:
         print(f"  {name}")
     print("experiments:")
     for exp_id in list_experiments():
         spec = get_experiment(exp_id)
         print(f"  {exp_id:<8} {spec.paper_ref:<18} {spec.title}")
+    print("streaming experiments:")
+    for exp_id in list_streaming_experiments():
+        sspec = get_streaming_experiment(exp_id)
+        print(f"  {exp_id:<13} {sspec.title}")
     return 0
 
 
@@ -145,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "list":

@@ -12,6 +12,15 @@ from .ngsim import NGSIM_DEFAULTS, generate_ngsim
 from .porto import PORTO_DEFAULTS, generate_porto
 from .registry import DATASETS, DatasetSpec, generate, get_dataset, list_datasets
 from .road3d import ROAD3D_DEFAULTS, generate_road3d
+from .stream import (
+    STREAMS,
+    burst_hotspot_stream,
+    chunk_stream,
+    drift_blob_stream,
+    list_streams,
+    make_stream,
+    ngsim_replay_stream,
+)
 from .synthetic import (
     combine,
     make_blobs,
@@ -35,6 +44,13 @@ __all__ = [
     "list_datasets",
     "ROAD3D_DEFAULTS",
     "generate_road3d",
+    "STREAMS",
+    "burst_hotspot_stream",
+    "chunk_stream",
+    "drift_blob_stream",
+    "list_streams",
+    "make_stream",
+    "ngsim_replay_stream",
     "combine",
     "make_blobs",
     "make_moons",

@@ -1,0 +1,151 @@
+"""Synthetic point *streams* for the streaming clustering subsystem.
+
+Batch generators hand back one array; a stream is an iterator of chunks.
+Three stream shapes cover the regimes the streaming engine must handle:
+
+* ``drift-blobs``     — Gaussian clusters whose centres random-walk between
+  chunks, so the sliding window sees clusters move, merge and separate (the
+  refit-friendly case: most of the scene persists between updates);
+* ``burst-hotspots``  — sparse background noise interrupted by dense bursts
+  at random locations, so cluster count jumps chunk-to-chunk (stress for
+  promotion/demotion bookkeeping);
+* ``ngsim-replay``    — the NGSIM-style highway corridor replayed in
+  sampling order, the trajectory workload of the paper's Section V-C.
+
+All generators are deterministic in ``seed`` and yield ``(chunk_size, d)``
+float64 arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .ngsim import generate_ngsim
+from .synthetic import make_blobs, make_uniform_noise
+
+__all__ = [
+    "chunk_stream",
+    "drift_blob_stream",
+    "burst_hotspot_stream",
+    "ngsim_replay_stream",
+    "STREAMS",
+    "make_stream",
+    "list_streams",
+]
+
+
+def chunk_stream(points: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Replay a fixed point set as consecutive chunks (the trivial stream)."""
+    points = np.asarray(points, dtype=np.float64)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    for lo in range(0, points.shape[0], chunk_size):
+        yield points[lo : lo + chunk_size]
+
+
+def drift_blob_stream(
+    num_chunks: int,
+    chunk_size: int,
+    *,
+    seed: int = 0,
+    num_clusters: int = 4,
+    std: float = 0.15,
+    box: float = 10.0,
+    drift: float = 0.25,
+    noise_fraction: float = 0.1,
+    dim: int = 2,
+) -> Iterator[np.ndarray]:
+    """Gaussian blobs whose centres random-walk ``drift`` per chunk.
+
+    Every chunk mixes ``1 - noise_fraction`` cluster samples with uniform
+    background noise over the box.  Drift keeps the cluster structure
+    recognisable between consecutive windows while steadily invalidating
+    the acceleration structure's bounds — the workload refit is for.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, box, size=(num_clusters, dim))
+    for _ in range(num_chunks):
+        n_noise = int(round(chunk_size * noise_fraction))
+        pts, _ = make_blobs(chunk_size - n_noise, centers=centers, std=std, seed=rng)
+        if n_noise:
+            noise = make_uniform_noise(n_noise, low=-1.0, high=box + 1.0, dim=dim, seed=rng)
+            pts = np.vstack([pts, noise])
+        yield pts[rng.permutation(pts.shape[0])]
+        step = rng.normal(0.0, drift, size=centers.shape)
+        centers = np.clip(centers + step, 0.0, box)
+
+
+def burst_hotspot_stream(
+    num_chunks: int,
+    chunk_size: int,
+    *,
+    seed: int = 0,
+    burst_every: int = 3,
+    burst_fraction: float = 0.7,
+    std: float = 0.08,
+    box: float = 10.0,
+    dim: int = 2,
+) -> Iterator[np.ndarray]:
+    """Uniform background with periodic dense bursts at random hotspots.
+
+    Every ``burst_every``-th chunk concentrates ``burst_fraction`` of its
+    points in a tight Gaussian at a fresh location; the other chunks are
+    pure background.  Windows therefore oscillate between "no clusters" and
+    "one hot cluster", exercising promotion on the burst and demotion /
+    cluster death as the burst slides out of the window.
+    """
+    if burst_every < 1:
+        raise ValueError("burst_every must be positive")
+    rng = np.random.default_rng(seed)
+    for chunk_idx in range(num_chunks):
+        if chunk_idx % burst_every == burst_every - 1:
+            n_hot = int(round(chunk_size * burst_fraction))
+            hotspot = rng.uniform(0.0, box, size=(1, dim))
+            hot, _ = make_blobs(n_hot, centers=hotspot, std=std, seed=rng)
+            cold = make_uniform_noise(chunk_size - n_hot, low=0.0, high=box, dim=dim, seed=rng)
+            pts = np.vstack([hot, cold])
+        else:
+            pts = make_uniform_noise(chunk_size, low=0.0, high=box, dim=dim, seed=rng)
+        yield pts[rng.permutation(pts.shape[0])]
+
+
+def ngsim_replay_stream(
+    num_chunks: int,
+    chunk_size: int,
+    *,
+    seed: int = 0,
+    **ngsim_kwargs,
+) -> Iterator[np.ndarray]:
+    """Replay NGSIM-style highway trajectory points chunk by chunk.
+
+    The generator materialises ``num_chunks * chunk_size`` corridor points
+    and serves them in order — the dense quasi-1D workload where the paper
+    reports its largest wins (Section V-C), now arriving as a feed.
+    """
+    pts = generate_ngsim(num_chunks * chunk_size, seed=seed, **ngsim_kwargs)
+    yield from chunk_stream(pts, chunk_size)
+
+
+#: Stream name -> generator(num_chunks, chunk_size, *, seed, **kwargs).
+STREAMS: dict[str, Callable[..., Iterator[np.ndarray]]] = {
+    "drift-blobs": drift_blob_stream,
+    "burst-hotspots": burst_hotspot_stream,
+    "ngsim-replay": ngsim_replay_stream,
+}
+
+
+def make_stream(
+    name: str, num_chunks: int, chunk_size: int, *, seed: int = 0, **kwargs
+) -> Iterator[np.ndarray]:
+    """Instantiate a named stream."""
+    key = name.lower()
+    if key not in STREAMS:
+        raise KeyError(f"unknown stream {name!r}; available: {sorted(STREAMS)}")
+    return STREAMS[key](num_chunks, chunk_size, seed=seed, **kwargs)
+
+
+def list_streams() -> list[str]:
+    """Names of all registered streams."""
+    return sorted(STREAMS)

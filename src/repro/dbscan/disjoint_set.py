@@ -163,6 +163,18 @@ class ParallelDisjointSet:
         self.num_atomics += int(uniq.size)
         return int(uniq.size)
 
+    def grow(self, n: int) -> None:
+        """Extend the forest to ``n`` elements; new elements are singletons.
+
+        Existing set structure is preserved.  Used by the streaming engine
+        when the scene's slot capacity grows.
+        """
+        old = len(self)
+        if n < old:
+            raise ValueError(f"cannot shrink forest from {old} to {n}")
+        if n > old:
+            self.parent = np.concatenate([self.parent, np.arange(old, n, dtype=np.intp)])
+
     def roots(self) -> np.ndarray:
         """Fully compressed representative of every element."""
         self.compress()

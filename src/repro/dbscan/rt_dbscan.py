@@ -144,9 +144,17 @@ class RTDBSCAN:
                 forest.union_edges(cq[both_core], cp[both_core])
 
                 # Border points: attach to one neighbouring core cluster
-                # atomically (the critical section of Algorithm 3).
+                # atomically (the critical section of Algorithm 3).  The
+                # winning core is the lowest-indexed one — equivalent to
+                # launching the core rays in index order — which keeps the
+                # assignment independent of BVH traversal order and lets the
+                # streaming engine reproduce it incrementally.
                 border_children = cp[~both_core]
                 border_parents = cq[~both_core]
+                if border_children.size:
+                    order = np.lexsort((border_parents, border_children))
+                    border_children = border_children[order]
+                    border_parents = border_parents[order]
                 forest.attach(border_children, border_parents)
 
                 counts.union_ops += forest.num_unions

@@ -41,6 +41,7 @@ class OpCounts:
     """Operation counts accumulated by an algorithm phase."""
 
     bvh_build_prims: int = 0
+    bvh_refit_prims: int = 0
     rt_node_visits: int = 0
     sm_node_visits: int = 0
     intersection_calls: int = 0
@@ -80,6 +81,14 @@ class DeviceCostModel:
     #: SBT).  This is the overhead that makes RT-DBSCAN lose to FDBSCAN on
     #: very small datasets (Section V-B1).
     rt_setup_ns: float = 250_000.0
+    #: per-primitive cost of *refitting* an existing acceleration structure:
+    #: recompute node bounds bottom-up without changing the topology.  OptiX
+    #: exposes this as an accel update and it is roughly 4x cheaper than a
+    #: fresh build (no Morton sort, no node emission); the streaming
+    #: subsystem uses it for small window updates.
+    rt_refit_per_prim_ns: float = 4.5
+    #: per-primitive refit cost of a plain spatial BVH on the shader cores.
+    sm_refit_per_prim_ns: float = 2.5
 
     # --- traversal ----------------------------------------------------- #
     #: per-node cost of hardware BVH traversal on RT cores.
@@ -130,10 +139,20 @@ class DeviceCostModel:
             per, fixed = self.sm_build_per_prim_ns, 0.0
         return (num_prims * per + fixed + self.kernel_launch_ns) * 1e-9
 
+    def refit_time_s(self, num_prims: int, *, unit: str = "rt") -> float:
+        """Simulated seconds to refit an existing BVH over ``num_prims``.
+
+        Refit reuses the live pipeline, so it pays the per-primitive bounds
+        update and one kernel launch but never the fixed pipeline setup cost.
+        """
+        per = self.rt_refit_per_prim_ns if unit == "rt" else self.sm_refit_per_prim_ns
+        return (num_prims * per + self.kernel_launch_ns) * 1e-9
+
     def time_s(self, counts: OpCounts) -> float:
         """Simulated seconds for a bag of operation counts."""
         ns = 0.0
         ns += counts.bvh_build_prims * 0.0  # build is accounted via build_time_s
+        ns += counts.bvh_refit_prims * 0.0  # refit is accounted via refit_time_s
         ns += counts.rt_node_visits * self.rt_node_visit_ns
         ns += counts.sm_node_visits * self.sm_node_visit_ns
         ns += counts.intersection_calls * self.intersection_call_ns

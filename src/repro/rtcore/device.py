@@ -59,6 +59,16 @@ class RTDevice:
         unit = "rt" if self.has_rt_cores else "sm"
         return self.cost_model.build_time_s(num_prims, unit=unit)
 
+    def accel_refit_seconds(self, num_prims: int) -> float:
+        """Simulated time to refit an existing acceleration structure.
+
+        Refit recomputes node bounds in place (no topology change), which the
+        cost model prices well below a fresh build; the streaming subsystem
+        relies on this gap when choosing refit over rebuild.
+        """
+        unit = "rt" if self.has_rt_cores else "sm"
+        return self.cost_model.refit_time_s(num_prims, unit=unit)
+
     def node_visit_field(self) -> str:
         """Which OpCounts field BVH traversal on this device should charge."""
         return "rt_node_visits" if self.has_rt_cores else "sm_node_visits"

@@ -74,6 +74,15 @@ class OWLGroup:
             raise ValueError("no program group bound to this geometry type")
         return self.pipeline.launch_counts_with(points, progs, min_count)
 
+    def refit_accel(self) -> float:
+        """Refit the acceleration structure to the geometry's current bounds.
+
+        Mirrors ``owlGroupRefitAccel``: cheaper than a rebuild, keeps the
+        topology, and is what incremental / streaming callers use after
+        moving primitives.  Returns the simulated refit time.
+        """
+        return self.pipeline.refit_accel()
+
     def release(self) -> None:
         self.pipeline.release()
 

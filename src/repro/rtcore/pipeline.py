@@ -25,6 +25,7 @@ import numpy as np
 
 from ..bvh.lbvh import build_lbvh
 from ..bvh.node import BVH
+from ..bvh.refit import refit as refit_bvh
 from ..bvh.sah import build_sah
 from ..bvh.traversal import point_query_counts_early_exit, point_query_pairs
 from ..geometry.sphere import SphereGeometry
@@ -95,6 +96,23 @@ class ScenePipeline:
         self.device.memory.allocate("primitive_buffers", prim_bytes)
         self.accel_build_seconds = self.device.accel_build_seconds(self.num_primitives)
         return self.accel_build_seconds
+
+    def refit_accel(self) -> float:
+        """Refit the acceleration structure to the geometry's current bounds.
+
+        The tree topology (node layout, leaf ranges, primitive order) is
+        preserved; only the per-primitive and per-node bounds are recomputed.
+        This is the OptiX "accel update" path the streaming subsystem uses
+        when a window update moves, adds or parks a small number of spheres.
+        Returns the simulated refit time; the device counters are charged
+        with the per-primitive refit work.
+        """
+        bvh = self._require_accel()
+        self.bvh = refit_bvh(bvh, self.geometry.bounds())
+        self.device.charge(
+            OpCounts(bvh_refit_prims=self.num_primitives, kernel_launches=1)
+        )
+        return self.device.accel_refit_seconds(self.num_primitives)
 
     # ------------------------------------------------------------------ #
     def _require_accel(self) -> BVH:

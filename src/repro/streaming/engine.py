@@ -1,0 +1,503 @@
+"""Streaming RT-DBSCAN engine.
+
+:class:`StreamingRTDBSCAN` clusters an unbounded point stream with the
+paper's two-stage RT-DBSCAN while touching, per update, only the state an
+update can actually change:
+
+* **Stage 1 (core identification) is incremental.**  The engine caches the
+  per-point ε-neighbour count (the same quantity batch RT-DBSCAN exposes via
+  ``keep_neighbor_counts``).  A chunk of ``k`` new points launches ``k``
+  ε-rays; each new point's count is read off its own ray, and every hit onto
+  an existing point bumps that point's cached count.  No existing point is
+  re-queried unless it crosses the ``min_pts`` threshold ("promotion").
+
+* **Stage 2 (cluster formation) is monotone under insertion.**  Core–core
+  edges discovered by the new and promoted rays are merged into a persistent
+  union–find forest; border points carry an *anchor* — the earliest-arrived
+  core point within ε — which reproduces the batch implementation's
+  deterministic border assignment.  Because insertion can only add core
+  points and grow clusters, the forest never needs repair on append-only
+  streams, and the final window labelling is identical to batch
+  :func:`repro.dbscan.rt_dbscan` on the same points.
+
+* **Eviction is the only structural hazard.**  Removing a *noise or border*
+  point just decrements its neighbours' counts.  Removing a *core* point —
+  or demoting one by decrement — can split a cluster, so those updates
+  re-run stage 2 with ε-rays from the surviving core points only (stage 1
+  stays incremental; this is the paper's "recompute rather than store"
+  trade applied to the streaming setting).
+
+Scene maintenance (refit vs rebuild) is delegated to
+:class:`~repro.streaming.scene.StreamingScene` and its
+:class:`~repro.streaming.policy.RefitPolicy`; every launch, refit, build,
+union and atomic is charged to the device cost model, so per-update reports
+carry the same Section V-D style breakdown as the batch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dbscan.disjoint_set import ParallelDisjointSet
+from ..dbscan.params import NOISE, DBSCANParams, DBSCANResult, canonicalize_labels
+from ..geometry.transforms import lift_to_3d, validate_points
+from ..perf.cost_model import OpCounts
+from ..perf.timing import ExecutionReport, PhaseTimer
+from ..rtcore.device import RTDevice
+from .policy import RefitPolicy
+from .scene import StreamingScene
+
+__all__ = ["StreamingRTDBSCAN", "StreamUpdate"]
+
+
+@dataclass
+class StreamUpdate:
+    """Outcome of one :meth:`StreamingRTDBSCAN.update` call.
+
+    Attributes
+    ----------
+    labels:
+        Cluster labels of the *current window*, in arrival order (noise is
+        ``-1``; numbering follows the same smallest-member convention as the
+        batch algorithms).
+    core_mask:
+        Core flags of the current window, aligned with ``labels``.
+    window_arrivals:
+        Global arrival sequence number of each window point, aligned with
+        ``labels`` — callers use it to join labels back to their own stream
+        bookkeeping.
+    accel_action:
+        How the acceleration structure was maintained this update:
+        ``"none"``, ``"refit"`` or ``"rebuild"``.
+    reclustered:
+        True when eviction forced the full stage-2 re-clustering pass.
+    report:
+        Per-phase simulated/wall time and operation counts for this update.
+    """
+
+    chunk_index: int
+    num_new: int
+    num_evicted: int
+    window_size: int
+    num_clusters: int
+    num_noise: int
+    accel_action: str
+    reclustered: bool
+    labels: np.ndarray
+    core_mask: np.ndarray
+    window_arrivals: np.ndarray
+    report: ExecutionReport | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.report.total_simulated_seconds if self.report else 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.total_wall_seconds if self.report else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "chunk_index": self.chunk_index,
+            "num_new": self.num_new,
+            "num_evicted": self.num_evicted,
+            "window_size": self.window_size,
+            "num_clusters": self.num_clusters,
+            "num_noise": self.num_noise,
+            "accel_action": self.accel_action,
+            "reclustered": self.reclustered,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class StreamingRTDBSCAN:
+    """Incremental RT-DBSCAN over a point stream.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The DBSCAN parameters (shared by every window).
+    window:
+        Maximum number of live points.  ``None`` (default) grows without
+        bound; an integer turns the engine into a sliding window that evicts
+        the oldest points as new chunks arrive.
+    device:
+        Simulated RT device; a fresh RTX 2060-like device by default.
+    policy:
+        Refit-vs-rebuild policy for scene maintenance (default: cost-model
+        driven ``"auto"``).
+    builder, leaf_size, chunk_size, initial_capacity:
+        Scene parameters forwarded to :class:`StreamingScene`.
+
+    Examples
+    --------
+    >>> engine = StreamingRTDBSCAN(eps=0.3, min_pts=5, window=2000)
+    >>> for chunk in stream:                      # doctest: +SKIP
+    ...     update = engine.update(chunk)
+    ...     serve(update.labels, update.window_arrivals)
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        *,
+        window: int | None = None,
+        device: RTDevice | None = None,
+        policy: RefitPolicy | None = None,
+        builder: str = "lbvh",
+        leaf_size: int = 4,
+        chunk_size: int = 16384,
+        initial_capacity: int = 256,
+    ) -> None:
+        self.params = DBSCANParams(eps=eps, min_pts=min_pts)
+        if window is not None and window < 1:
+            raise ValueError("window must be a positive integer or None")
+        self.window = window
+        self.device = device or RTDevice()
+        self.policy = policy or RefitPolicy()
+        self.scene = StreamingScene(
+            eps,
+            self.device,
+            builder=builder,
+            leaf_size=leaf_size,
+            chunk_size=chunk_size,
+            initial_capacity=initial_capacity,
+        )
+
+        cap = self.scene.capacity
+        self._counts = np.zeros(cap, dtype=np.int64)
+        self._core = np.zeros(cap, dtype=bool)
+        self._arrival = np.full(cap, -1, dtype=np.int64)
+        self._anchor = np.full(cap, -1, dtype=np.intp)
+        self._forest = ParallelDisjointSet(cap)
+        self._next_arrival = 0
+
+        #: running totals across updates.
+        self.num_updates = 0
+        self.points_ingested = 0
+        self.points_evicted = 0
+        self.total_counts = OpCounts()
+        self.total_simulated_seconds = 0.0
+        self.total_wall_seconds = 0.0
+        self._last_report: ExecutionReport | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def eps(self) -> float:
+        return self.params.eps
+
+    @property
+    def min_pts(self) -> int:
+        return self.params.min_pts
+
+    @property
+    def window_size(self) -> int:
+        return int((self._arrival >= 0).sum())
+
+    def _window_slots(self) -> np.ndarray:
+        """Live slots in arrival order (the canonical window ordering)."""
+        live = np.flatnonzero(self._arrival >= 0)
+        return live[np.argsort(self._arrival[live], kind="stable")]
+
+    @property
+    def window_points(self) -> np.ndarray:
+        """Current window points (lifted to 3D), in arrival order."""
+        return self.scene.centers[self._window_slots()].copy()
+
+    @property
+    def window_arrivals(self) -> np.ndarray:
+        return self._arrival[self._window_slots()].copy()
+
+    # ------------------------------------------------------------------ #
+    def _sync_capacity(self) -> None:
+        cap = self.scene.capacity
+        old = self._counts.shape[0]
+        if cap <= old:
+            return
+        pad = cap - old
+        self._counts = np.concatenate([self._counts, np.zeros(pad, dtype=np.int64)])
+        self._core = np.concatenate([self._core, np.zeros(pad, dtype=bool)])
+        self._arrival = np.concatenate([self._arrival, np.full(pad, -1, dtype=np.int64)])
+        self._anchor = np.concatenate([self._anchor, np.full(pad, -1, dtype=np.intp)])
+        self._forest.grow(cap)
+
+    def _validate_chunk(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            return np.empty((0, 3), dtype=np.float64)
+        return lift_to_3d(validate_points(pts, name="chunk"))
+
+    # ------------------------------------------------------------------ #
+    def update(self, points: np.ndarray) -> StreamUpdate:
+        """Ingest one chunk, slide the window, and re-cluster incrementally."""
+        pts3 = self._validate_chunk(points)
+        if self.window is not None and pts3.shape[0] > self.window:
+            # A chunk larger than the window: only its newest points survive.
+            pts3 = pts3[-self.window :]
+        k = pts3.shape[0]
+        timer = PhaseTimer("streaming-rt-dbscan", self.device.cost_model)
+        timer.metadata.update(
+            {
+                "eps": self.eps,
+                "min_pts": self.min_pts,
+                "window": self.window,
+                "chunk_points": k,
+                "device": self.device.name,
+            }
+        )
+
+        # ------------------------------------------------------------ #
+        # Eviction: slide the window before the chunk lands.
+        # ------------------------------------------------------------ #
+        evict_slots = np.empty(0, dtype=np.intp)
+        if self.window is not None:
+            live = self._window_slots()
+            overflow = live.size + k - self.window
+            if overflow > 0:
+                evict_slots = live[:overflow]
+
+        need_full = False
+        with timer.phase("evict") as counts:
+            if evict_slots.size:
+                need_full = self._evict(evict_slots, counts)
+
+        # ------------------------------------------------------------ #
+        # Scene maintenance: append spheres, then refit or rebuild.
+        # ------------------------------------------------------------ #
+        accel_action = "none"
+        accel_seconds = 0.0
+        new_slots = np.empty(0, dtype=np.intp)
+        with timer.phase("scene_update") as counts:
+            if k:
+                new_slots = self.scene.allocate(k)
+                self._sync_capacity()
+                self.scene.set_points(new_slots, pts3)
+                self._arrival[new_slots] = np.arange(
+                    self._next_arrival, self._next_arrival + k, dtype=np.int64
+                )
+                self._next_arrival += k
+            if k or evict_slots.size:
+                accel_action, accel_seconds, accel_counts = self.scene.commit(self.policy)
+                counts.merge(accel_counts)
+        # The accel time comes from the device's build/refit estimate, not
+        # from the recorded counts (mirrors the batch bvh_build phase).
+        timer._phases[-1].simulated_seconds = accel_seconds
+
+        # ------------------------------------------------------------ #
+        # Stage 1 (incremental): counts from the new points' rays only.
+        # ------------------------------------------------------------ #
+        promoted = np.empty(0, dtype=np.intp)
+        new_q = new_p = np.empty(0, dtype=np.intp)
+        with timer.phase("core_update") as counts:
+            if k:
+                new_q, new_p, stats = self.scene.query_pairs(new_slots)
+                counts.merge(stats.counts)
+                promoted = self._apply_count_deltas(new_slots, new_q, new_p)
+
+        # ------------------------------------------------------------ #
+        # Stage 2: monotone merge, or full re-cluster after a core loss.
+        # ------------------------------------------------------------ #
+        with timer.phase("cluster_update") as counts:
+            if need_full:
+                self._forest = ParallelDisjointSet(self.scene.capacity)
+                self._anchor[:] = -1
+                core_slots = np.flatnonzero(self._core & (self._arrival >= 0))
+                q, p, stats = self.scene.query_pairs(core_slots)
+                counts.merge(stats.counts)
+            elif promoted.size:
+                pq, pp, stats = self.scene.query_pairs(promoted)
+                counts.merge(stats.counts)
+                q = np.concatenate([new_q, pq])
+                p = np.concatenate([new_p, pp])
+            else:
+                q, p = new_q, new_p
+            unions, atomics = self._apply_pairs(q, p)
+            counts.union_ops += unions
+            counts.atomic_ops += atomics
+            self.device.charge(OpCounts(union_ops=unions, atomic_ops=atomics))
+
+        # ------------------------------------------------------------ #
+        # Window labelling.
+        # ------------------------------------------------------------ #
+        win = self._window_slots()
+        labels, core_mask = self._window_labels(win)
+
+        report = timer.report()
+        self._last_report = report
+        self.num_updates += 1
+        self.points_ingested += k
+        self.points_evicted += int(evict_slots.size)
+        for phase in report.phases:
+            self.total_counts.merge(phase.counts)
+        self.total_simulated_seconds += report.total_simulated_seconds
+        self.total_wall_seconds += report.total_wall_seconds
+
+        unique = np.unique(labels)
+        return StreamUpdate(
+            chunk_index=self.num_updates - 1,
+            num_new=k,
+            num_evicted=int(evict_slots.size),
+            window_size=int(win.size),
+            num_clusters=int((unique >= 0).sum()),
+            num_noise=int((labels == NOISE).sum()),
+            accel_action=accel_action,
+            reclustered=need_full,
+            labels=labels,
+            core_mask=core_mask,
+            window_arrivals=self._arrival[win].copy(),
+            report=report,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _evict(self, evict_slots: np.ndarray, counts: OpCounts) -> bool:
+        """Remove the given slots; returns True when stage 2 must re-run.
+
+        Only the loss of a core point (directly, or by demotion of a
+        neighbour whose count drops below ``min_pts``) can change the
+        cluster structure of the survivors; border and noise evictions just
+        decrement cached counts.
+        """
+        q, p, stats = self.scene.query_pairs(evict_slots)
+        counts.merge(stats.counts)
+
+        evicted_core = bool(self._core[evict_slots].any())
+
+        ev_mask = np.zeros(self.scene.capacity, dtype=bool)
+        ev_mask[evict_slots] = True
+        survivors = p[~ev_mask[p]]
+        np.subtract.at(self._counts, survivors, 1)
+        touched = np.unique(survivors)
+        demoted = touched[self._core[touched] & (self._counts[touched] < self.min_pts)]
+        self._core[demoted] = False
+
+        self.scene.deallocate(evict_slots)
+        self._counts[evict_slots] = 0
+        self._core[evict_slots] = False
+        self._arrival[evict_slots] = -1
+        self._anchor[evict_slots] = -1
+        # Evicted slots were either never unioned (non-core) or the forest is
+        # about to be rebuilt (core loss); reset keeps slot reuse clean.
+        self._forest.parent[evict_slots] = evict_slots
+        return evicted_core or bool(demoted.size)
+
+    def _apply_count_deltas(
+        self, new_slots: np.ndarray, q: np.ndarray, p: np.ndarray
+    ) -> np.ndarray:
+        """Fold the new points' ray hits into the cached neighbour counts.
+
+        Returns the *promoted* slots: existing points pushed over the
+        ``min_pts`` threshold by the arrivals.
+        """
+        cap = self.scene.capacity
+        new_mask = np.zeros(cap, dtype=bool)
+        new_mask[new_slots] = True
+        # Each new point's count is exactly its own ray's confirmed hits.
+        self._counts[new_slots] = np.bincount(q, minlength=cap)[new_slots]
+        # Every hit onto an existing point adds one neighbour there.
+        inc = p[~new_mask[p]]
+        np.add.at(self._counts, inc, 1)
+        touched = np.unique(inc)
+        promoted = touched[~self._core[touched] & (self._counts[touched] >= self.min_pts)]
+        self._core[new_slots] = self._counts[new_slots] >= self.min_pts
+        self._core[promoted] = True
+        return promoted
+
+    def _apply_pairs(self, q: np.ndarray, p: np.ndarray) -> tuple[int, int]:
+        """Merge discovered ε-pairs into the forest and border anchors.
+
+        Core–core pairs are unioned; (core, non-core) pairs in either
+        orientation propose the core as the non-core point's anchor.
+        Returns ``(union_hooks, anchor_atomics)`` for the cost model.
+        """
+        if q.size == 0:
+            return 0, 0
+        qc = self._core[q]
+        pc = self._core[p]
+
+        before = self._forest.num_unions
+        both = qc & pc
+        self._forest.union_edges(q[both], p[both])
+        unions = self._forest.num_unions - before
+
+        border = np.concatenate([p[qc & ~pc], q[~qc & pc]])
+        anchor = np.concatenate([q[qc & ~pc], p[~qc & pc]])
+        atomics = self._anchor_min(border, anchor)
+        return unions, atomics
+
+    def _anchor_min(self, border: np.ndarray, anchor: np.ndarray) -> int:
+        """Keep, per border point, the earliest-arrived core neighbour.
+
+        This reproduces the batch implementation's deterministic border
+        attachment (first core ray to reach the point wins, and rays launch
+        in arrival order), so chunked ingest matches the batch labelling.
+        """
+        if border.size == 0:
+            return 0
+        order = np.lexsort((self._arrival[anchor], border))
+        b, a = border[order], anchor[order]
+        first = np.ones(b.size, dtype=bool)
+        first[1:] = b[1:] != b[:-1]
+        b, a = b[first], a[first]
+        current = self._anchor[b]
+        sentinel = np.iinfo(np.int64).max
+        current_arrival = np.where(current >= 0, self._arrival[current], sentinel)
+        better = self._arrival[a] < current_arrival
+        self._anchor[b[better]] = a[better]
+        return int(better.sum())
+
+    def _window_labels(self, win: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical labels and core mask for the window slots ``win``."""
+        core_mask = self._core[win].copy()
+        keys = np.full(win.size, NOISE, dtype=np.int64)
+        if core_mask.any():
+            keys[core_mask] = self._forest.find_many(win[core_mask])
+        anchors = self._anchor[win]
+        border = ~core_mask & (anchors >= 0)
+        if border.any():
+            keys[border] = self._forest.find_many(anchors[border])
+        return canonicalize_labels(keys), core_mask
+
+    # ------------------------------------------------------------------ #
+    def consume(self, chunks) -> list[StreamUpdate]:
+        """Feed every chunk of an iterable through :meth:`update`."""
+        return [self.update(chunk) for chunk in chunks]
+
+    def result(self) -> DBSCANResult:
+        """The current window as a batch-style :class:`DBSCANResult`.
+
+        Lets callers reuse the agreement metrics and report formatters that
+        operate on batch results.
+        """
+        win = self._window_slots()
+        labels, core_mask = self._window_labels(win)
+        return DBSCANResult(
+            labels=labels,
+            core_mask=core_mask,
+            params=self.params,
+            algorithm="streaming-rt-dbscan",
+            report=self._last_report,
+            neighbor_counts=self._counts[win].copy(),
+            extra={"scene": self.scene.summary(), "window_arrivals": self._arrival[win].copy()},
+        )
+
+    def summary(self) -> dict:
+        """Running totals for reports and benchmarks."""
+        return {
+            "num_updates": self.num_updates,
+            "points_ingested": self.points_ingested,
+            "points_evicted": self.points_evicted,
+            "window_size": self.window_size,
+            "total_simulated_seconds": self.total_simulated_seconds,
+            "total_wall_seconds": self.total_wall_seconds,
+            "counts": self.total_counts.as_dict(),
+            "scene": self.scene.summary(),
+        }
+
+    def release(self) -> None:
+        """Free the device-side scene."""
+        self.scene.release()

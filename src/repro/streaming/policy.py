@@ -1,0 +1,89 @@
+"""Refit-vs-rebuild decision policy.
+
+Every window update leaves the acceleration structure stale: appended points
+occupy previously parked slots, evicted points are parked far outside the
+data extent, and drifting clusters stretch the node bounds the tree was
+built for.  The maintainer must choose between
+
+* **refit** — recompute node bounds bottom-up (cheap: no Morton sort, no
+  node emission; the cost model prices it ~4x below a build per primitive),
+  at the price of progressively worse tree quality as churn accumulates; or
+* **rebuild** — pay the full per-primitive build cost and restore an
+  optimally-partitioned tree.
+
+:class:`RefitPolicy` makes that call from the device cost model plus a churn
+bound: while the modelled refit time undercuts the modelled build time *and*
+the fraction of primitives that moved since the last build stays under
+``churn_rebuild_fraction``, refit wins.  The churn bound stands in for the
+traversal degradation the cost model cannot see directly (stale trees make
+ε-queries visit more nodes, which *is* charged honestly through the
+traversal counters — the policy merely bounds how bad it may get).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.cost_model import DeviceCostModel
+
+__all__ = ["RefitPolicy"]
+
+#: Valid policy modes.
+MODES = ("auto", "refit", "rebuild")
+
+
+@dataclass
+class RefitPolicy:
+    """Chooses how to bring the acceleration structure up to date.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (cost-model driven, default), ``"refit"`` (always refit
+        unless a rebuild is structurally required, e.g. capacity growth), or
+        ``"rebuild"`` (rebuild on every update; the baseline the streaming
+        benchmarks compare against).
+    churn_rebuild_fraction:
+        In ``auto`` mode, rebuild once more than this fraction of the
+        primitives changed since the structure was last built.
+    """
+
+    mode: str = "auto"
+    churn_rebuild_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if not 0.0 < self.churn_rebuild_fraction <= 1.0:
+            raise ValueError("churn_rebuild_fraction must be in (0, 1]")
+
+    def choose(
+        self,
+        *,
+        cost_model: DeviceCostModel,
+        num_prims: int,
+        churn_fraction: float,
+        has_rt_cores: bool = True,
+        structure_valid: bool = True,
+    ) -> str:
+        """Return ``"refit"`` or ``"rebuild"`` for the pending update.
+
+        ``churn_fraction`` is the fraction of primitives whose bounds changed
+        since the last full build; ``structure_valid`` is False when no
+        usable structure exists (first build, capacity growth), which forces
+        a rebuild regardless of mode.
+        """
+        if not structure_valid:
+            return "rebuild"
+        if self.mode == "rebuild":
+            return "rebuild"
+        if self.mode == "refit":
+            return "refit"
+        unit = "rt" if has_rt_cores else "sm"
+        refit_s = cost_model.refit_time_s(num_prims, unit=unit)
+        build_s = cost_model.build_time_s(num_prims, unit=unit)
+        if refit_s >= build_s:
+            return "rebuild"
+        if churn_fraction > self.churn_rebuild_fraction:
+            return "rebuild"
+        return "refit"

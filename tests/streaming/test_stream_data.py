@@ -1,0 +1,80 @@
+"""Stream generators: shapes, determinism and registry behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stream import (
+    burst_hotspot_stream,
+    chunk_stream,
+    drift_blob_stream,
+    list_streams,
+    make_stream,
+    ngsim_replay_stream,
+)
+
+
+class TestChunkStream:
+    def test_covers_input_exactly(self):
+        pts = np.arange(20, dtype=np.float64).reshape(10, 2)
+        chunks = list(chunk_stream(pts, 3))
+        assert [c.shape[0] for c in chunks] == [3, 3, 3, 1]
+        assert np.array_equal(np.vstack(chunks), pts)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_stream(np.zeros((4, 2)), 0))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (drift_blob_stream, {}),
+            (burst_hotspot_stream, {}),
+            (ngsim_replay_stream, {}),
+        ],
+    )
+    def test_shapes_and_determinism(self, factory, kwargs):
+        a = list(factory(5, 40, seed=3, **kwargs))
+        b = list(factory(5, 40, seed=3, **kwargs))
+        assert len(a) == 5
+        for chunk_a, chunk_b in zip(a, b):
+            assert chunk_a.shape == (40, 2)
+            assert chunk_a.dtype == np.float64
+            assert np.isfinite(chunk_a).all()
+            assert np.array_equal(chunk_a, chunk_b)
+
+    def test_seeds_differ(self):
+        a = np.vstack(list(drift_blob_stream(3, 30, seed=1)))
+        b = np.vstack(list(drift_blob_stream(3, 30, seed=2)))
+        assert not np.array_equal(a, b)
+
+    def test_drift_moves_the_distribution(self):
+        chunks = list(drift_blob_stream(12, 100, seed=4, drift=0.5, noise_fraction=0.0))
+        first = chunks[0].mean(axis=0)
+        last = chunks[-1].mean(axis=0)
+        assert not np.allclose(first, last, atol=1e-3)
+
+    def test_burst_chunks_are_denser(self):
+        chunks = list(burst_hotspot_stream(6, 200, seed=5, burst_every=3))
+        # Burst chunks (indices 2 and 5) concentrate points: their standard
+        # deviation from the chunk mean is visibly below the uniform chunks'.
+        spreads = [float(np.linalg.norm(c - c.mean(axis=0), axis=1).mean()) for c in chunks]
+        assert spreads[2] < 0.7 * spreads[0]
+        assert spreads[5] < 0.7 * spreads[3]
+
+
+class TestRegistry:
+    def test_list_and_make(self):
+        names = list_streams()
+        assert {"drift-blobs", "burst-hotspots", "ngsim-replay"} <= set(names)
+        for name in names:
+            chunks = list(make_stream(name, 2, 25, seed=0))
+            assert len(chunks) == 2
+            assert all(c.shape == (25, 2) for c in chunks)
+
+    def test_unknown_stream_raises(self):
+        with pytest.raises(KeyError):
+            make_stream("no-such-stream", 1, 10)
