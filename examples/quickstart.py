@@ -7,7 +7,9 @@ Demonstrates the smallest possible end-to-end use of the library:
 2. pick ε with the k-distance heuristic;
 3. run RT-DBSCAN on the simulated RT device;
 4. verify the result against the sequential reference implementation;
-5. print the clustering summary and the Section V-D style phase breakdown.
+5. print the clustering summary and the Section V-D style phase breakdown;
+6. show the same pipeline through the unified estimator API — the
+   ``repro.cluster`` facade, a CPU neighbour backend, and a minPts refit.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import classic_dbscan, rt_dbscan
 from repro.data import make_blobs, make_uniform_noise
 from repro.metrics import compare_results
@@ -71,6 +74,22 @@ def main() -> None:
         share = 100.0 * phase.simulated_seconds / total if total else 0.0
         print(f"  {phase.name:<22} {phase.simulated_seconds * 1e3:8.3f} ms  ({share:5.1f}%)")
     print(f"  {'total':<22} {total * 1e3:8.3f} ms")
+
+    # ------------------------------------------------------------------ #
+    # 6. The same run through the unified estimator API.  Any registered
+    #    algorithm/backend is one call away, labels are identical to the
+    #    constructor path, and a stored-counts refit skips stage 1.
+    # ------------------------------------------------------------------ #
+    facade = repro.cluster(points, "rt-dbscan", eps=eps, min_pts=min_pts)
+    on_kdtree = repro.cluster(points, "rt-dbscan", eps=eps, min_pts=min_pts,
+                              backend="kdtree")
+    assert np.array_equal(facade.labels, result.labels)
+    assert np.array_equal(on_kdtree.labels, result.labels)
+    stricter = result.refit(min_pts=2 * min_pts)
+    print(f"\nestimator API: repro.cluster matches the constructor path on "
+          f"{len(repro.list_backends())} backends; "
+          f"refit(minPts={2 * min_pts}) -> {stricter.num_clusters} clusters "
+          f"without a second stage-1 launch")
 
 
 if __name__ == "__main__":

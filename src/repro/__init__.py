@@ -4,13 +4,17 @@ RT-DBSCAN accelerates DBSCAN's fixed-radius neighbour searches by reducing
 them to ray-tracing queries executed on GPU RT cores.  This package rebuilds
 the complete system in Python on top of a *simulated* RT device:
 
+* :mod:`repro.api`     — the unified estimator API: ``Clusterer`` protocol,
+  algorithm/backend registries and the one-call ``repro.cluster`` facade;
 * :mod:`repro.geometry` / :mod:`repro.bvh` — the spatial substrate (AABBs,
   spheres, Morton codes, LBVH/SAH builders, batched traversal);
 * :mod:`repro.rtcore`  — the simulated RT-capable GPU and its OptiX/OWL-style
   programming model;
 * :mod:`repro.neighbors` — RT-FindNeighborhood (the paper's Algorithm 2) plus
-  reference searches;
-* :mod:`repro.dbscan`  — RT-DBSCAN (Algorithm 3) and the sequential oracle;
+  grid/KD-tree/brute searches behind the pluggable ``NeighborBackend``
+  protocol;
+* :mod:`repro.dbscan`  — RT-DBSCAN (Algorithm 3, on any backend) and the
+  sequential oracle;
 * :mod:`repro.baselines` — the GPU comparators (FDBSCAN, G-DBSCAN,
   CUDA-DClust+);
 * :mod:`repro.streaming` — incremental window clustering over point streams
@@ -22,24 +26,56 @@ the complete system in Python on top of a *simulated* RT device:
 
 Quickstart
 ----------
->>> from repro import rt_dbscan
+>>> import repro
 >>> from repro.data import make_blobs
 >>> points, _ = make_blobs(2000, centers=4, std=0.2, seed=7)
->>> result = rt_dbscan(points, eps=0.3, min_pts=10)
+>>> result = repro.cluster(points, eps=0.3, min_pts=10)
 >>> result.num_clusters
+4
+>>> repro.cluster(points, "rt-dbscan", eps=0.3, min_pts=10,
+...               backend="kdtree").num_clusters
 4
 """
 
+from .api import (
+    Clusterer,
+    ClustererSpec,
+    StreamingClusterer,
+    cluster,
+    list_algorithms,
+    list_backends,
+    make_backend,
+    make_clusterer,
+    register_algorithm,
+    register_backend,
+)
 from .baselines import CUDADClustPlus, FDBSCAN, GDBSCAN, cuda_dclust_plus, fdbscan, gdbscan
-from .dbscan import RTDBSCAN, DBSCANParams, DBSCANResult, classic_dbscan, rt_dbscan
-from .neighbors import RTNeighborFinder, rt_find_neighbors
+from .dbscan import (
+    RTDBSCAN,
+    ClassicDBSCAN,
+    DBSCANParams,
+    DBSCANResult,
+    classic_dbscan,
+    rt_dbscan,
+)
+from .neighbors import NeighborBackend, RTNeighborFinder, rt_find_neighbors
 from .perf import DEFAULT_COST_MODEL, DeviceCostModel
 from .rtcore import RTDevice, owl_context_create
 from .streaming import RefitPolicy, StreamingRTDBSCAN, StreamUpdate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "cluster",
+    "Clusterer",
+    "ClustererSpec",
+    "StreamingClusterer",
+    "list_algorithms",
+    "list_backends",
+    "make_backend",
+    "make_clusterer",
+    "register_algorithm",
+    "register_backend",
     "CUDADClustPlus",
     "FDBSCAN",
     "GDBSCAN",
@@ -47,10 +83,12 @@ __all__ = [
     "fdbscan",
     "gdbscan",
     "RTDBSCAN",
+    "ClassicDBSCAN",
     "DBSCANParams",
     "DBSCANResult",
     "classic_dbscan",
     "rt_dbscan",
+    "NeighborBackend",
     "RTNeighborFinder",
     "rt_find_neighbors",
     "DEFAULT_COST_MODEL",

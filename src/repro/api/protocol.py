@@ -1,0 +1,49 @@
+"""The estimator protocol every clusterer in this package satisfies.
+
+The protocol follows the sklearn convention the related clustering libraries
+use (``fit`` / ``fit_predict``, plus ``partial_fit`` for engines that accept
+data incrementally), while keeping this package's richer return type:
+``fit`` returns a :class:`~repro.dbscan.params.DBSCANResult`, not ``self``,
+because the timing report and core mask are first-class outputs here.
+
+:class:`ClustererMixin` supplies the derived ``fit_predict`` so that the
+concrete implementations only have to write ``fit``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Clusterer", "StreamingClusterer", "ClustererMixin"]
+
+
+@runtime_checkable
+class Clusterer(Protocol):
+    """A batch clusterer: ``fit`` points, get a labelled result."""
+
+    def fit(self, points: np.ndarray) -> Any:
+        """Cluster ``points`` and return a ``DBSCANResult``."""
+        ...
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        ...
+
+
+@runtime_checkable
+class StreamingClusterer(Clusterer, Protocol):
+    """A clusterer that additionally accepts data chunk by chunk."""
+
+    def partial_fit(self, points: np.ndarray) -> "StreamingClusterer":
+        """Ingest one chunk of points; returns ``self`` for chaining."""
+        ...
+
+
+class ClustererMixin:
+    """Derived estimator methods shared by the concrete clusterers."""
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label array."""
+        return self.fit(points).labels

@@ -1,0 +1,90 @@
+"""Declarative clusterer configuration.
+
+A :class:`ClustererSpec` captures everything needed to build a clusterer —
+algorithm name, the two DBSCAN parameters, an optional neighbour backend and
+free-form algorithm parameters — as a small frozen value object that can be
+validated, logged, serialised into benchmark records, and handed to
+:func:`repro.api.registry.make_clusterer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .registry import AlgorithmEntry, get_backend, resolve_algorithm
+
+__all__ = ["ClustererSpec"]
+
+
+@dataclass(frozen=True)
+class ClustererSpec:
+    """Configuration for one clusterer instance.
+
+    Parameters
+    ----------
+    algo:
+        Registered algorithm name; the compact ``"algo@backend"`` spelling is
+        also accepted (mutually consistent with ``backend``).
+    eps:
+        DBSCAN ε.  May stay ``None`` while the spec is being assembled, but
+        must be set before :func:`~repro.api.registry.make_clusterer`;
+        :func:`repro.cluster` fills it via k-distance calibration.
+    min_pts:
+        DBSCAN minPts.
+    backend:
+        Optional neighbour backend name, for algorithms registered with
+        ``supports_backend=True``.
+    params:
+        Extra keyword arguments forwarded to the algorithm factory
+        (e.g. ``builder="sah"`` or ``window=2000``).
+    """
+
+    algo: str = "rt-dbscan"
+    eps: float | None = None
+    min_pts: int = 5
+    backend: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.eps is not None and (not np.isfinite(self.eps) or self.eps <= 0):
+            raise ValueError(f"eps must be a positive finite number, got {self.eps}")
+        if int(self.min_pts) != self.min_pts or self.min_pts < 1:
+            raise ValueError(f"min_pts must be a positive integer, got {self.min_pts}")
+        object.__setattr__(self, "min_pts", int(self.min_pts))
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------------ #
+    def resolve(self) -> tuple[AlgorithmEntry, str | None]:
+        """Validate against the registries; returns (entry, backend name).
+
+        Raises ``KeyError`` for unknown algorithm/backend names and
+        ``ValueError`` when a backend is requested for an algorithm that does
+        not take one, or when ``algo`` carries an ``@backend`` suffix that
+        contradicts the ``backend`` field.
+        """
+        entry, inline = resolve_algorithm(self.algo)
+        backend = self.backend
+        if backend is not None:
+            backend = get_backend(backend).name
+            if inline is not None and inline != backend:
+                raise ValueError(
+                    f"conflicting backends: algo={self.algo!r} vs backend={self.backend!r}"
+                )
+        else:
+            backend = inline
+        if backend is not None and not entry.supports_backend:
+            raise ValueError(
+                f"algorithm {entry.name!r} does not accept a neighbour backend"
+            )
+        return entry, backend
+
+    def as_dict(self) -> dict:
+        return {
+            "algo": self.algo,
+            "eps": self.eps,
+            "min_pts": self.min_pts,
+            "backend": self.backend,
+            "params": dict(self.params),
+        }

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import register_algorithm
 from ..dbscan.disjoint_set import DisjointSet
 from ..dbscan.labels import labels_from_roots
 from ..dbscan.params import DBSCANParams, DBSCANResult, canonicalize_labels
@@ -33,8 +35,12 @@ from ..rtcore.device import RTDevice
 __all__ = ["CUDADClustPlus", "cuda_dclust_plus"]
 
 
+@register_algorithm(
+    "cuda-dclust+",
+    description="CUDA-DClust+ (Poudel & Gowanlock): grid index + parallel chain expansion.",
+)
 @dataclass
-class CUDADClustPlus:
+class CUDADClustPlus(ClustererMixin):
     """CUDA-DClust+ clusterer (grid index + parallel chain expansion).
 
     Parameters

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import register_algorithm
 from ..bvh.lbvh import build_lbvh
 from ..bvh.traversal import point_query_counts_early_exit, point_query_pairs
 from ..dbscan.disjoint_set import ParallelDisjointSet
@@ -35,8 +37,12 @@ from ..rtcore.device import RTDevice
 __all__ = ["FDBSCAN", "fdbscan"]
 
 
+@register_algorithm(
+    "fdbscan",
+    description="FDBSCAN (Prokopenko et al.): shader-core BVH + union-find.",
+)
 @dataclass
-class FDBSCAN:
+class FDBSCAN(ClustererMixin):
     """FDBSCAN clusterer (shader-core BVH + union–find).
 
     Parameters
@@ -191,6 +197,15 @@ class FDBSCAN:
             report=timer.report(),
             neighbor_counts=None if self.early_exit else neighbor_counts,
         )
+
+
+@register_algorithm(
+    "fdbscan-earlyexit",
+    description="FDBSCAN with the Section VI-B early-exit traversal optimisation.",
+)
+def _fdbscan_early_exit(eps: float, min_pts: int, device=None, **kwargs) -> FDBSCAN:
+    kwargs.setdefault("early_exit", True)
+    return FDBSCAN(eps=eps, min_pts=min_pts, device=device, **kwargs)
 
 
 def fdbscan(points: np.ndarray, eps: float, min_pts: int, **kwargs) -> DBSCANResult:

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.spatial import cKDTree
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import register_algorithm
 from ..dbscan.params import NOISE, UNCLASSIFIED, DBSCANParams, DBSCANResult, canonicalize_labels
 from ..geometry.transforms import lift_to_3d, validate_points
 from ..perf.cost_model import OpCounts
@@ -32,8 +34,12 @@ from ..rtcore.device import RTDevice
 __all__ = ["GDBSCAN", "gdbscan"]
 
 
+@register_algorithm(
+    "g-dbscan",
+    description="G-DBSCAN (Andrade et al.): materialised ε-graph + parallel BFS.",
+)
 @dataclass
-class GDBSCAN:
+class GDBSCAN(ClustererMixin):
     """G-DBSCAN clusterer (ε-graph construction + parallel BFS).
 
     Parameters

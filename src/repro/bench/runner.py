@@ -4,22 +4,26 @@ Runs a named algorithm on a point set with given (ε, minPts), catches the
 simulated out-of-memory condition the way the paper reports it for the
 baselines, and returns a flat :class:`RunRecord` the report formatters and
 the pytest benchmarks consume.
+
+Algorithms are resolved from the registry in :mod:`repro.api.registry` — the
+hand-written factory table this module used to keep is gone.  Names may use
+the ``"algo@backend"`` spelling (e.g. ``"rt-dbscan@grid"``) to pin a
+neighbour backend, which is how the backend-ablation experiment labels its
+columns.  ``ALGORITHMS`` remains importable as a read-only mapping view over
+the registry for backward compatibility.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
-from ..baselines.cuda_dclust import CUDADClustPlus
-from ..baselines.fdbscan import FDBSCAN
-from ..baselines.gdbscan import GDBSCAN
-from ..dbscan.classic import classic_dbscan
+from ..api.registry import list_algorithms, resolve_algorithm
+from ..api.spec import ClustererSpec
 from ..dbscan.params import DBSCANResult
-from ..dbscan.rt_dbscan import RTDBSCAN
 from ..perf.cost_model import DeviceCostModel
 from ..perf.memory import DeviceMemoryError
 from ..rtcore.device import RTDevice
@@ -27,27 +31,45 @@ from ..rtcore.device import RTDevice
 __all__ = ["RunRecord", "ALGORITHMS", "run_single", "run_sweep", "speedup_series"]
 
 
-#: Algorithm name -> factory(eps, min_pts, device, **kwargs) -> clusterer with .fit()
-ALGORITHMS: dict[str, Callable] = {
-    "rt-dbscan": lambda eps, min_pts, device, **kw: RTDBSCAN(
-        eps=eps, min_pts=min_pts, device=device, **kw
-    ),
-    "rt-dbscan-triangles": lambda eps, min_pts, device, **kw: RTDBSCAN(
-        eps=eps, min_pts=min_pts, device=device, triangle_mode=True, **kw
-    ),
-    "fdbscan": lambda eps, min_pts, device, **kw: FDBSCAN(
-        eps=eps, min_pts=min_pts, device=device, **kw
-    ),
-    "fdbscan-earlyexit": lambda eps, min_pts, device, **kw: FDBSCAN(
-        eps=eps, min_pts=min_pts, device=device, early_exit=True, **kw
-    ),
-    "g-dbscan": lambda eps, min_pts, device, **kw: GDBSCAN(
-        eps=eps, min_pts=min_pts, device=device, **kw
-    ),
-    "cuda-dclust+": lambda eps, min_pts, device, **kw: CUDADClustPlus(
-        eps=eps, min_pts=min_pts, device=device, **kw
-    ),
-}
+class _AlgorithmsView(Mapping):
+    """Deprecated mapping shim over the algorithm registry.
+
+    Keeps ``from repro.bench.runner import ALGORITHMS`` working: iteration
+    yields the registered algorithm names, and indexing returns a legacy
+    ``factory(eps, min_pts, device, **kwargs)`` callable.  New code should
+    use :func:`repro.api.registry.resolve_algorithm` or
+    :func:`repro.cluster` instead.
+    """
+
+    def __getitem__(self, name: str):
+        entry, backend = resolve_algorithm(name)
+
+        def factory(eps, min_pts, device=None, **kwargs):
+            if backend is not None:
+                kwargs.setdefault("backend", backend)
+            return entry.factory(eps=eps, min_pts=min_pts, device=device, **kwargs)
+
+        return factory
+
+    def __contains__(self, name) -> bool:
+        # The old dict returned False for any unknown key; resolve_algorithm
+        # raises ValueError for @-spellings of non-backend algorithms, which
+        # must read as "not a valid name" here, not crash.
+        try:
+            resolve_algorithm(name)
+        except (KeyError, ValueError, TypeError, AttributeError):
+            return False
+        return True
+
+    def __iter__(self):
+        return iter(list_algorithms())
+
+    def __len__(self) -> int:
+        return len(list_algorithms())
+
+
+#: Deprecated: registry-backed view over algorithm name -> legacy factory.
+ALGORITHMS = _AlgorithmsView()
 
 
 @dataclass
@@ -95,9 +117,14 @@ def run_single(
     *,
     dataset: str = "unknown",
     cost_model: DeviceCostModel | None = None,
+    backend: str | None = None,
     **kwargs,
 ) -> RunRecord:
     """Run one algorithm on one configuration and return its record.
+
+    ``algorithm`` is resolved from the registry (``KeyError`` lists the
+    available names); ``backend`` pins a neighbour backend for algorithms
+    that support one, equivalent to the ``"algo@backend"`` spelling.
 
     Out-of-memory conditions on the simulated device are reported as
     ``status="oom"`` rather than raised, because the paper treats them as
@@ -112,19 +139,15 @@ def run_single(
         eps=float(eps),
         min_pts=int(min_pts),
     )
-    if algorithm == "classic":
-        start = time.perf_counter()
-        result = classic_dbscan(points, eps, min_pts)
-        record.wall_seconds = time.perf_counter() - start
-        record.simulated_seconds = record.wall_seconds
-        _fill_from_result(record, result)
-        return record
-
-    if algorithm not in ALGORITHMS:
-        raise KeyError(f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}")
+    spec = ClustererSpec(algo=algorithm, eps=float(eps), min_pts=int(min_pts),
+                         backend=backend)
+    entry, backend = spec.resolve()
+    if backend is not None:
+        kwargs.setdefault("backend", backend)
+        record.extra["backend"] = backend
 
     device = RTDevice(cost_model=cost_model) if cost_model is not None else RTDevice()
-    clusterer = ALGORITHMS[algorithm](eps, min_pts, device, **kwargs)
+    clusterer = entry.factory(eps=eps, min_pts=min_pts, device=device, **kwargs)
     start = time.perf_counter()
     try:
         result = clusterer.fit(points)
@@ -145,6 +168,10 @@ def _fill_from_result(record: RunRecord, result: DBSCANResult) -> None:
     if result.report is not None:
         record.simulated_seconds = result.report.total_simulated_seconds
         record.breakdown = result.report.breakdown()
+    else:
+        # Uninstrumented reference implementations (the sequential oracle)
+        # carry no simulated-time report; fall back to wall-clock time.
+        record.simulated_seconds = record.wall_seconds
 
 
 def run_sweep(

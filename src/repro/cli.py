@@ -2,18 +2,21 @@
 
 Four subcommands cover the common workflows:
 
-* ``rt-dbscan cluster``     — run a DBSCAN variant on a CSV file or a named
-  synthetic dataset and print (or save) the labels;
+* ``rt-dbscan cluster``     — run any registered DBSCAN variant on a CSV file
+  or a named synthetic dataset and print (or save) the labels;
 * ``rt-dbscan stream``      — run the streaming engine over a synthetic
   point stream (sliding window, refit-aware scene maintenance) and print
   per-chunk progress plus throughput totals;
 * ``rt-dbscan experiment``  — regenerate one of the paper's tables/figures
   (by experiment id, see ``rt-dbscan list``) and print the report;
-* ``rt-dbscan list``        — list available datasets, streams, algorithms
-  and experiments.
+* ``rt-dbscan list``        — list available datasets, streams, algorithms,
+  neighbour backends and experiments.
 
-The console script is installed as ``rt-dbscan``; the module can also be run
-with ``python -m repro.cli``.
+Algorithms and neighbour backends are resolved from the registries in
+:mod:`repro.api.registry`: ``--algo rt-dbscan --backend kdtree`` (or the
+compact ``--algo rt-dbscan@kdtree``) runs the paper's Algorithm 3 on the
+KD-tree substrate.  The console script is installed as ``rt-dbscan``; the
+module can also be run with ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ import textwrap
 
 import numpy as np
 
+from .api import ClustererSpec, make_clusterer
+from .api.registry import get_algorithm, get_backend, list_algorithms, list_backends
 from .bench.experiments import (
     get_experiment,
     get_streaming_experiment,
@@ -34,7 +39,7 @@ from .bench.experiments import (
     run_streaming,
 )
 from .bench.report import format_breakdown, format_records, format_speedup_table, format_time_table
-from .bench.runner import ALGORITHMS, run_single
+from .bench.runner import run_single
 from .data.registry import generate, list_datasets
 from .data.stream import list_streams
 
@@ -67,6 +72,21 @@ STREAM_EPILOG = textwrap.dedent(
     """
 )
 
+CLUSTER_EPILOG = textwrap.dedent(
+    """\
+    examples:
+      # the paper's RT-core pipeline on a synthetic dataset
+      rt-dbscan cluster --dataset blobs --num-points 5000 --eps 0.3 --min-pts 10
+
+      # the same Algorithm 3 on the KD-tree substrate (CPU fast path)
+      rt-dbscan cluster --dataset blobs --num-points 5000 --eps 0.3 \\
+          --min-pts 10 --algo rt-dbscan --backend kdtree
+
+    Algorithm and backend names come from the registry; run `rt-dbscan list`
+    to see them all.  --algo also accepts the compact algo@backend spelling.
+    """
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
@@ -77,7 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     # -- cluster --------------------------------------------------------- #
-    p_cluster = sub.add_parser("cluster", help="cluster a CSV file or a synthetic dataset")
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="cluster a CSV file or a synthetic dataset",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=CLUSTER_EPILOG,
+    )
     src = p_cluster.add_mutually_exclusive_group(required=True)
     src.add_argument("--input", help="CSV file with 2 or 3 numeric columns (no header)")
     src.add_argument("--dataset", choices=list_datasets(), help="named synthetic dataset")
@@ -86,9 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--seed", type=int, default=0, help="generator seed")
     p_cluster.add_argument("--eps", type=float, required=True, help="DBSCAN eps radius")
     p_cluster.add_argument("--min-pts", type=int, required=True, help="DBSCAN minPts")
-    p_cluster.add_argument("--algorithm", default="rt-dbscan",
-                           choices=sorted(ALGORITHMS) + ["classic"],
-                           help="which implementation to run (default rt-dbscan)")
+    p_cluster.add_argument("--algorithm", "--algo", dest="algorithm", default="rt-dbscan",
+                           metavar="NAME",
+                           help="registered algorithm, optionally algo@backend "
+                                "(default rt-dbscan; see 'rt-dbscan list')")
+    p_cluster.add_argument("--backend", choices=list_backends(), default=None,
+                           help="neighbour backend for backend-pluggable algorithms")
     p_cluster.add_argument("--output", help="write labels (one per line) to this file")
     p_cluster.add_argument("--json", action="store_true", help="print the summary as JSON")
 
@@ -124,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", action="store_true", help="print raw records as JSON")
 
     # -- list ------------------------------------------------------------ #
-    sub.add_parser("list", help="list datasets, algorithms and experiments")
+    sub.add_parser("list", help="list datasets, algorithms, backends and experiments")
     return parser
 
 
@@ -136,10 +164,20 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    try:
+        # Validates the whole combination up front: algorithm name, backend
+        # name, algo@backend consistency, and the numeric parameters.
+        ClustererSpec(
+            algo=args.algorithm, eps=args.eps, min_pts=args.min_pts,
+            backend=args.backend,
+        ).resolve()
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     points = _load_points(args)
     record = run_single(
         args.algorithm, points, args.eps, args.min_pts,
-        dataset=args.dataset or args.input,
+        dataset=args.dataset or args.input, backend=args.backend,
     )
     if args.json:
         print(json.dumps(record.as_dict(), indent=2))
@@ -149,15 +187,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print()
             print(format_breakdown(record))
     if args.output and record.status == "ok":
-        # Re-run is avoided by refitting only when labels must be persisted.
-        from .bench.runner import ALGORITHMS as _ALGOS
-        from .dbscan.classic import classic_dbscan
-        from .rtcore.device import RTDevice
-
-        if args.algorithm == "classic":
-            result = classic_dbscan(points, args.eps, args.min_pts)
-        else:
-            result = _ALGOS[args.algorithm](args.eps, args.min_pts, RTDevice()).fit(points)
+        # Labels are only materialised when they must be persisted.
+        spec = ClustererSpec(
+            algo=args.algorithm, eps=args.eps, min_pts=args.min_pts, backend=args.backend
+        )
+        result = make_clusterer(spec).fit(points)
         np.savetxt(args.output, result.labels, fmt="%d")
         print(f"labels written to {args.output}")
     return 0 if record.status == "ok" else 1
@@ -235,8 +269,18 @@ def _cmd_list(_: argparse.Namespace) -> int:
     for name in list_streams():
         print(f"  {name}")
     print("algorithms:")
-    for name in sorted(ALGORITHMS) + ["classic", "streaming-rt-dbscan"]:
-        print(f"  {name}")
+    for name in list_algorithms():
+        entry = get_algorithm(name)
+        tags = []
+        if entry.supports_backend:
+            tags.append("backends")
+        if entry.supports_partial_fit:
+            tags.append("partial_fit")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"  {name:<22} {entry.description}{suffix}")
+    print("neighbour backends (for algorithms tagged [backends]):")
+    for name in list_backends():
+        print(f"  {name:<22} {get_backend(name).description}")
     print("experiments:")
     for exp_id in list_experiments():
         spec = get_experiment(exp_id)

@@ -13,15 +13,18 @@ available for the property tests.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.spatial import cKDTree
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import register_algorithm
 from ..geometry.transforms import validate_points
 from ..neighbors.brute import brute_force_neighbors
 from .params import NOISE, UNCLASSIFIED, DBSCANParams, DBSCANResult, canonicalize_labels
 
-__all__ = ["classic_dbscan"]
+__all__ = ["ClassicDBSCAN", "classic_dbscan"]
 
 
 def _neighbor_lists(points: np.ndarray, eps: float, method: str) -> list[np.ndarray]:
@@ -98,4 +101,36 @@ def classic_dbscan(
         params=params,
         algorithm="classic-dbscan",
         neighbor_counts=counts,
+        points=np.asarray(pts, dtype=np.float64),
     )
+
+
+@register_algorithm(
+    "classic",
+    description="The sequential Ester et al. oracle (exact, uninstrumented).",
+    instrumented=False,
+)
+@dataclass
+class ClassicDBSCAN(ClustererMixin):
+    """Estimator wrapper around :func:`classic_dbscan`.
+
+    Gives the sequential oracle the same ``fit`` / ``fit_predict`` surface as
+    the accelerated clusterers so the registry, the benchmark runner and the
+    :func:`repro.cluster` facade treat it uniformly.  ``device`` is accepted
+    for interface parity and ignored — the oracle runs on the host and is not
+    part of the simulated-time evaluation.
+    """
+
+    eps: float
+    min_pts: int
+    device: object | None = None
+    neighbor_method: str = "kdtree"
+
+    def __post_init__(self) -> None:
+        self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
+
+    def fit(self, points: np.ndarray) -> DBSCANResult:
+        return classic_dbscan(
+            points, self.params.eps, self.params.min_pts,
+            neighbor_method=self.neighbor_method,
+        )

@@ -1,0 +1,76 @@
+"""Stage-2 cluster formation from confirmed ε-pairs (Algorithm 3, lines 7-18).
+
+Shared by batch RT-DBSCAN (on every neighbour backend) and by
+:meth:`~repro.dbscan.params.DBSCANResult.refit`: given the confirmed
+``(query, neighbour)`` pairs and the core mask, merge core–core pairs in a
+union–find forest, attach border points deterministically, and emit the
+canonical labelling.  Keeping this in one place is what guarantees that a
+re-labelling with a different ``min_pts`` — or a run on a different search
+substrate — produces bit-identical labels to a fresh fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .disjoint_set import ParallelDisjointSet
+from .labels import labels_from_roots
+from .params import canonicalize_labels
+
+__all__ = ["FormationResult", "form_clusters"]
+
+
+@dataclass
+class FormationResult:
+    """Outcome of one cluster-formation pass."""
+
+    #: canonical labels (clusters numbered by smallest member, noise = -1).
+    labels: np.ndarray
+    #: union (hook) operations performed — for the device cost model.
+    num_unions: int
+    #: atomic border attachments performed — for the device cost model.
+    num_atomics: int
+
+
+def form_clusters(
+    q_hit: np.ndarray, p_hit: np.ndarray, core_mask: np.ndarray
+) -> FormationResult:
+    """Form clusters from confirmed ε-pairs and a core mask.
+
+    Only pairs whose query point is a core point expand clusters: core–core
+    pairs are unioned, and border points are attached to the lowest-indexed
+    neighbouring core's cluster — equivalent to launching the core rays in
+    index order, which keeps the assignment independent of traversal order
+    (and therefore independent of the neighbour backend).
+    """
+    core_mask = np.asarray(core_mask, dtype=bool)
+    n = core_mask.shape[0]
+    q_hit = np.asarray(q_hit, dtype=np.intp)
+    p_hit = np.asarray(p_hit, dtype=np.intp)
+
+    forest = ParallelDisjointSet(n)
+    from_core = core_mask[q_hit]
+    cq, cp = q_hit[from_core], p_hit[from_core]
+
+    both_core = core_mask[cp]
+    forest.union_edges(cq[both_core], cp[both_core])
+
+    border_children = cp[~both_core]
+    border_parents = cq[~both_core]
+    if border_children.size:
+        order = np.lexsort((border_parents, border_children))
+        border_children = border_children[order]
+        border_parents = border_parents[order]
+    forest.attach(border_children, border_parents)
+
+    roots = forest.roots()
+    assigned = np.zeros(n, dtype=bool)
+    assigned[np.unique(border_children)] = True
+    labels = labels_from_roots(roots, core_mask, assigned_mask=assigned)
+    return FormationResult(
+        labels=canonicalize_labels(labels),
+        num_unions=forest.num_unions,
+        num_atomics=forest.num_atomics,
+    )

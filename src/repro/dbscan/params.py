@@ -67,8 +67,12 @@ class DBSCANResult:
         Per-phase timing and operation counts (None for reference
         implementations that are not instrumented).
     neighbor_counts:
-        Optional per-point ε-neighbour counts (saved so subsequent runs with
-        a different ``min_pts`` can skip stage 1, per Section VI-B).
+        Optional per-point ε-neighbour counts (saved so :meth:`refit` can
+        relabel with a different ``min_pts`` while skipping stage 1, per
+        Section VI-B).
+    points:
+        Optional copy of the clustered points (lifted to 3D), kept alongside
+        ``neighbor_counts`` so :meth:`refit` can recompute stage 2.
     """
 
     labels: np.ndarray
@@ -77,6 +81,7 @@ class DBSCANResult:
     algorithm: str = "dbscan"
     report: ExecutionReport | None = None
     neighbor_counts: np.ndarray | None = None
+    points: np.ndarray | None = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -105,6 +110,49 @@ class DBSCANResult:
         if self.num_clusters == 0:
             return np.zeros(0, dtype=np.int64)
         return np.bincount(self.labels[self.labels >= 0], minlength=self.num_clusters)
+
+    def refit(self, min_pts: int) -> "DBSCANResult":
+        """Relabel with a different ``min_pts``, skipping stage 1 entirely.
+
+        This is the Section VI-B shortcut: the stored per-point neighbour
+        counts already determine the new core set, so only cluster formation
+        (stage 2) runs again — no second core-identification launch.  The
+        ε-pairs are recomputed host-side with the KD-tree backend and merged
+        with the same union–find formation pass every backend uses, so the
+        result is bit-identical to a fresh ``RTDBSCAN(eps, min_pts).fit``.
+
+        Requires ``neighbor_counts`` and ``points`` (kept by default via
+        ``keep_neighbor_counts=True``).
+        """
+        if self.neighbor_counts is None:
+            raise ValueError(
+                "refit requires stored neighbor_counts; "
+                "run with keep_neighbor_counts=True"
+            )
+        if self.points is None:
+            raise ValueError("refit requires the result to carry its points")
+        params = DBSCANParams(eps=self.params.eps, min_pts=min_pts)
+        core_mask = self.neighbor_counts >= params.min_pts
+
+        from ..neighbors.backend import KDTreeNeighborBackend
+        from .formation import form_clusters
+
+        backend = KDTreeNeighborBackend(self.points, params.eps)
+        try:
+            q_hit, p_hit, _ = backend.neighbor_pairs()
+        finally:
+            backend.release()
+        formation = form_clusters(q_hit, p_hit, core_mask)
+        return DBSCANResult(
+            labels=formation.labels,
+            core_mask=core_mask,
+            params=params,
+            algorithm=self.algorithm,
+            report=None,
+            neighbor_counts=self.neighbor_counts,
+            points=self.points,
+            extra={"refit_from_min_pts": self.params.min_pts},
+        )
 
     def summary(self) -> dict:
         out = {

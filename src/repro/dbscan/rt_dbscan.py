@@ -1,20 +1,26 @@
 """RT-DBSCAN — the paper's core contribution (Algorithm 3).
 
-The algorithm has two stages, both expressed as ε-ray launches on the
-simulated RT device:
+The algorithm has two stages, both expressed as fixed-radius neighbour
+queries against a pluggable search substrate (by default ε-ray launches on
+the simulated RT device):
 
-1. **Core-point identification** — one ray per point; the Intersection
-   program counts confirmed sphere hits (excluding the self hit) and a point
-   whose count reaches ``min_pts`` is a core point.  Nothing else is stored,
-   which keeps memory at O(n).
+1. **Core-point identification** — one query per point; a point whose
+   confirmed ε-neighbour count (excluding the self hit) reaches ``min_pts``
+   is a core point.  Nothing else is stored, which keeps memory at O(n).
 2. **Cluster formation** — the neighbourhoods are recomputed with a second
-   launch (the redundant work the paper accepts because hardware traversal is
-   cheap) and merged with a union–find forest: core–core pairs are unioned,
-   border points are attached atomically to one neighbouring core cluster.
+   query pass (the redundant work the paper accepts because hardware
+   traversal is cheap) and merged with a union–find forest: core–core pairs
+   are unioned, border points are attached atomically to one neighbouring
+   core cluster (see :mod:`repro.dbscan.formation`).
 
-The implementation charges every operation to the device cost model so that
-benchmarks can report the Section V-D style breakdown (BVH build vs the two
-clustering stages) and the simulated total time.
+The neighbour search is resolved from the backend registry
+(:mod:`repro.neighbors.backend`): ``backend="rt"`` is the paper's RT-core
+pipeline, while ``"grid"``, ``"kdtree"`` and ``"brute"`` run the identical
+Algorithm 3 on host substrates — a CPU fast path and the backend-ablation
+experiment in one mechanism.  Labels are bit-identical across backends; only
+the operations charged to the device cost model differ, so benchmarks can
+report the Section V-D style breakdown (index build vs the two clustering
+stages) for every substrate.
 """
 
 from __future__ import annotations
@@ -23,20 +29,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import make_backend, register_algorithm
 from ..geometry.transforms import lift_to_3d, validate_points
-from ..neighbors.rt_find import RTNeighborFinder
 from ..perf.cost_model import OpCounts
 from ..perf.timing import PhaseTimer
 from ..rtcore.device import RTDevice
-from .disjoint_set import ParallelDisjointSet
-from .labels import labels_from_roots
-from .params import DBSCANParams, DBSCANResult, canonicalize_labels
+from .formation import form_clusters
+from .params import DBSCANParams, DBSCANResult
 
 __all__ = ["RTDBSCAN", "rt_dbscan"]
 
 
+@register_algorithm(
+    "rt-dbscan",
+    description="The paper's Algorithm 3 on the simulated RT device (pluggable backends).",
+    supports_backend=True,
+)
 @dataclass
-class RTDBSCAN:
+class RTDBSCAN(ClustererMixin):
     """RT-DBSCAN clusterer.
 
     Parameters
@@ -49,19 +60,27 @@ class RTDBSCAN:
     device:
         Simulated RT device; a default RTX 2060-like device is created when
         omitted.
+    backend:
+        Neighbour-search substrate: ``"rt"`` (default, the paper's RT-core
+        ray queries), ``"grid"``, ``"kdtree"`` or ``"brute"``.  All backends
+        produce identical labels; only the simulated cost differs.
     builder, leaf_size, chunk_size:
-        Acceleration-structure parameters forwarded to the RT pipeline.
+        Acceleration-structure parameters forwarded to the RT pipeline
+        (ignored by the host backends).
     triangle_mode:
         Use the Section VI-C triangle tessellation instead of the sphere
-        Intersection program (slower; for the ablation benchmark).
+        Intersection program (slower; for the ablation benchmark).  Only
+        meaningful with the ``"rt"`` backend.
     keep_neighbor_counts:
-        Store the per-point neighbour counts in the result so that re-running
-        with a different ``min_pts`` can skip stage 1 (Section VI-B).
+        Store the per-point neighbour counts (and the points) in the result
+        so that :meth:`DBSCANResult.refit` can relabel with a different
+        ``min_pts`` without a second stage-1 launch (Section VI-B).
     """
 
     eps: float
     min_pts: int
     device: RTDevice | None = None
+    backend: str = "rt"
     builder: str = "lbvh"
     leaf_size: int = 4
     chunk_size: int = 16384
@@ -72,6 +91,22 @@ class RTDBSCAN:
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
         self.device = self.device or RTDevice()
+        self.backend = str(self.backend).lower()
+        if self.triangle_mode and self.backend != "rt":
+            raise ValueError(
+                f"triangle_mode requires the 'rt' backend, got {self.backend!r}"
+            )
+
+    def _backend_kwargs(self) -> dict:
+        if self.backend == "rt":
+            return {
+                "builder": self.builder,
+                "leaf_size": self.leaf_size,
+                "chunk_size": self.chunk_size,
+                "triangle_mode": self.triangle_mode,
+                "triangle_subdivisions": self.triangle_subdivisions,
+            }
+        return {}
 
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
@@ -85,30 +120,29 @@ class RTDBSCAN:
                 "min_pts": self.params.min_pts,
                 "num_points": n,
                 "device": self.device.name,
+                "backend": self.backend,
                 "triangle_mode": self.triangle_mode,
             }
         )
 
         # -------------------------------------------------------------- #
-        # Scene setup + hardware BVH build over the ε-spheres.
+        # Scene setup + index build over the ε-spheres (BVH on the RT
+        # backend, grid/KD-tree on the host backends, nothing for brute).
         # -------------------------------------------------------------- #
         finder = None
         with timer.phase("bvh_build") as counts:
-            finder = RTNeighborFinder(
+            finder = make_backend(
+                self.backend,
                 pts3,
                 self.params.eps,
                 device=self.device,
-                builder=self.builder,
-                leaf_size=self.leaf_size,
-                chunk_size=self.chunk_size,
-                triangle_mode=self.triangle_mode,
-                triangle_subdivisions=self.triangle_subdivisions,
+                **self._backend_kwargs(),
             )
-            counts.bvh_build_prims = len(finder.group.geom.primitives)
+            counts.bvh_build_prims = finder.num_prims
             counts.kernel_launches += 1
         # The build time is derived from the primitive count, not the counts
-        # recorded above; patch the phase with the device's build estimate.
-        timer._phases[-1].simulated_seconds = finder.build_seconds
+        # recorded above; patch the phase with the backend's build estimate.
+        timer.set_last_phase_seconds(finder.build_seconds)
 
         try:
             # ---------------------------------------------------------- #
@@ -129,58 +163,48 @@ class RTDBSCAN:
             # Stage 2 — cluster formation with union-find (lines 7-18).
             # ---------------------------------------------------------- #
             with timer.phase("cluster_formation") as counts:
-                if self.triangle_mode:
-                    stats2 = stats1  # pairs already computed above
-                else:
+                if not self.triangle_mode:
+                    # Recompute the pairs (triangle mode already has them).
                     q_hit, p_hit, stats2 = finder.neighbor_pairs()
                     counts.merge(stats2.counts)
 
-                forest = ParallelDisjointSet(n)
-                # Only pairs whose query point is a core point expand clusters.
-                from_core = core_mask[q_hit]
-                cq, cp = q_hit[from_core], p_hit[from_core]
-
-                both_core = core_mask[cp]
-                forest.union_edges(cq[both_core], cp[both_core])
-
-                # Border points: attach to one neighbouring core cluster
-                # atomically (the critical section of Algorithm 3).  The
-                # winning core is the lowest-indexed one — equivalent to
-                # launching the core rays in index order — which keeps the
-                # assignment independent of BVH traversal order and lets the
-                # streaming engine reproduce it incrementally.
-                border_children = cp[~both_core]
-                border_parents = cq[~both_core]
-                if border_children.size:
-                    order = np.lexsort((border_parents, border_children))
-                    border_children = border_children[order]
-                    border_parents = border_parents[order]
-                forest.attach(border_children, border_parents)
-
-                counts.union_ops += forest.num_unions
-                counts.atomic_ops += forest.num_atomics
+                formation = form_clusters(q_hit, p_hit, core_mask)
+                counts.union_ops += formation.num_unions
+                counts.atomic_ops += formation.num_atomics
                 self.device.charge(
-                    OpCounts(union_ops=forest.num_unions, atomic_ops=forest.num_atomics)
+                    OpCounts(
+                        union_ops=formation.num_unions,
+                        atomic_ops=formation.num_atomics,
+                    )
                 )
-
-                roots = forest.roots()
-                assigned = np.zeros(n, dtype=bool)
-                assigned[np.unique(border_children)] = True
-                labels = labels_from_roots(roots, core_mask, assigned_mask=assigned)
+                labels = formation.labels
         finally:
             if finder is not None:
                 finder.release()
 
         report = timer.report()
         return DBSCANResult(
-            labels=canonicalize_labels(labels),
+            labels=labels,
             core_mask=core_mask,
             params=self.params,
             algorithm="rt-dbscan" if not self.triangle_mode else "rt-dbscan-triangles",
             report=report,
             neighbor_counts=neighbor_counts if self.keep_neighbor_counts else None,
-            extra={"build_seconds": finder.build_seconds if finder else 0.0},
+            points=pts3 if self.keep_neighbor_counts else None,
+            extra={
+                "build_seconds": finder.build_seconds if finder else 0.0,
+                "backend": self.backend,
+            },
         )
+
+
+@register_algorithm(
+    "rt-dbscan-triangles",
+    description="RT-DBSCAN with triangle-tessellated spheres (Section VI-C ablation).",
+)
+def _rt_dbscan_triangles(eps: float, min_pts: int, device=None, **kwargs) -> RTDBSCAN:
+    kwargs.setdefault("triangle_mode", True)
+    return RTDBSCAN(eps=eps, min_pts=min_pts, device=device, **kwargs)
 
 
 def rt_dbscan(points: np.ndarray, eps: float, min_pts: int, **kwargs) -> DBSCANResult:

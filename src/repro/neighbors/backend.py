@@ -1,0 +1,282 @@
+"""Pluggable fixed-radius neighbour backends.
+
+:class:`NeighborBackend` is the substrate contract RT-DBSCAN's Algorithm 3
+actually depends on: build an index over the dataset once, then answer
+
+* ``neighbor_counts()`` — ε-neighbour count per point (stage 1), and
+* ``neighbor_pairs()``  — all confirmed ``(query, neighbour)`` pairs (stage 2),
+
+with the dataset's own points as the default queries and self pairs excluded
+(the paper's ``q != s`` filter).  The RT-core ray query of Algorithm 2
+(:class:`~repro.neighbors.rt_find.RTNeighborFinder`) is one implementation;
+this module adds three host-side implementations behind the same protocol —
+a uniform grid, a KD-tree and the exact brute-force oracle — so the same
+clustering pipeline runs on any substrate.  All backends return *identical*
+pair sets, which is what makes `RTDBSCAN(backend=...)` label-equivalent
+across substrates; they differ only in the operations they charge to the
+device cost model (CPU backends charge shader-core work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..api.registry import register_backend
+from ..geometry.transforms import lift_to_3d, validate_points
+from ..perf.cost_model import OpCounts
+from ..rtcore.counters import LaunchStats
+from ..rtcore.device import RTDevice
+from .brute import pairwise_within
+from .grid import UniformGrid
+
+__all__ = [
+    "NeighborBackend",
+    "BruteNeighborBackend",
+    "GridNeighborBackend",
+    "KDTreeNeighborBackend",
+]
+
+
+@runtime_checkable
+class NeighborBackend(Protocol):
+    """Contract between the DBSCAN pipeline and a neighbour-search substrate."""
+
+    radius: float
+    #: simulated seconds spent building the index (0 for index-free backends).
+    build_seconds: float
+
+    @property
+    def num_points(self) -> int: ...
+
+    @property
+    def num_prims(self) -> int: ...
+
+    def neighbor_counts(
+        self, queries: np.ndarray | None = None, *, min_count: int | None = None
+    ) -> tuple[np.ndarray, LaunchStats]: ...
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]: ...
+
+    def release(self) -> None: ...
+
+
+# ------------------------------------------------------------------------- #
+# Host-side (shader-core priced) backends.
+# ------------------------------------------------------------------------- #
+@dataclass
+class _HostNeighborBackend:
+    """Shared machinery of the CPU backends: validation, cost accounting.
+
+    Subclasses implement ``_build()`` (index construction, sets
+    ``build_seconds`` and optionally a device-memory allocation) and
+    ``neighbor_pairs``; counts are derived from pairs by default.
+    """
+
+    points: np.ndarray
+    radius: float
+    device: RTDevice | None = None
+
+    build_seconds: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0 or not np.isfinite(self.radius):
+            raise ValueError("radius (eps) must be positive")
+        self.points = lift_to_3d(validate_points(self.points))
+        self.device = self.device or RTDevice()
+        self._mem_label: str | None = None
+        self._build()
+
+    def _build(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def num_prims(self) -> int:
+        return self.num_points
+
+    def _charge(self, *, num_rays: int, candidates: int, node_visits: int = 0,
+                confirmed: int = 0) -> LaunchStats:
+        """Charge one query launch to the device at shader-core rates."""
+        counts = OpCounts(
+            sm_node_visits=int(node_visits),
+            distance_computations=int(candidates),
+            kernel_launches=1,
+        )
+        seconds = self.device.charge(counts)
+        return LaunchStats(
+            num_rays=int(num_rays),
+            confirmed_hits=int(confirmed),
+            simulated_seconds=seconds,
+            counts=counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    def neighbor_counts(
+        self, queries: np.ndarray | None = None, *, min_count: int | None = None
+    ) -> tuple[np.ndarray, LaunchStats]:
+        """ε-neighbour count per query (self excluded for dataset queries).
+
+        ``min_count`` is an early-exit hint the host backends cannot exploit;
+        it is accepted for protocol compatibility and ignored.
+        """
+        del min_count
+        num_queries = self.num_points
+        if queries is not None:
+            num_queries = lift_to_3d(validate_points(queries)).shape[0]
+        q, _, stats = self.neighbor_pairs(queries)
+        counts = np.bincount(q, minlength=num_queries).astype(np.int64)
+        return counts, stats
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Free the simulated device-side index."""
+        if self._mem_label is not None:
+            self.device.memory.free(self._mem_label)
+            self._mem_label = None
+
+
+@register_backend(
+    "brute",
+    description="Exact all-pairs distance search on the shader cores (O(n^2), index-free).",
+)
+@dataclass
+class BruteNeighborBackend(_HostNeighborBackend):
+    """The exact oracle: chunked all-pairs distances, no index at all."""
+
+    chunk_size: int = 2048
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        if queries is None:
+            qpts, self_query = self.points, True
+        else:
+            qpts, self_query = lift_to_3d(validate_points(queries)), False
+        q, p = pairwise_within(qpts, self.points, self.radius, chunk_size=self.chunk_size)
+        if self_query:
+            keep = q != p
+            q, p = q[keep], p[keep]
+        stats = self._charge(
+            num_rays=qpts.shape[0],
+            candidates=qpts.shape[0] * self.num_points,
+            confirmed=q.size,
+        )
+        return q, p, stats
+
+
+@register_backend(
+    "grid",
+    description="Uniform ε-cell grid (the CUDA-DClust+ / DenseBox index) on the shader cores.",
+)
+@dataclass
+class GridNeighborBackend(_HostNeighborBackend):
+    """ε-cell grid: candidates come from the 3^d cells around each query."""
+
+    def _build(self) -> None:
+        self.grid = UniformGrid(self.points, self.radius)
+        self.build_seconds = self.device.cost_model.build_time_s(self.num_points, unit="sm")
+        self._mem_label = f"grid_backend_{id(self)}"
+        self.device.memory.allocate(self._mem_label, self.grid.memory_bytes())
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        r2 = self.radius * self.radius
+        out_q: list[np.ndarray] = []
+        out_p: list[np.ndarray] = []
+        candidates = 0
+        if queries is None:
+            # Batch per occupied cell: every point in a cell shares the same
+            # 3^d candidate neighbourhood.
+            for cell_id in self.grid.cell_start:
+                qi = self.grid.points_in_cell(cell_id)
+                cand = self.grid.candidate_neighbors(self.points[qi[0]])
+                candidates += qi.size * cand.size
+                if cand.size == 0:
+                    continue
+                d = self.points[qi][:, None, :] - self.points[cand][None, :, :]
+                hit = np.einsum("ijk,ijk->ij", d, d) <= r2
+                a, b = np.nonzero(hit)
+                qq, pp = qi[a], cand[b]
+                keep = qq != pp
+                out_q.append(qq[keep])
+                out_p.append(pp[keep])
+            num_rays = self.num_points
+        else:
+            qpts = lift_to_3d(validate_points(queries))
+            for i, point in enumerate(qpts):
+                cand = self.grid.candidate_neighbors(point)
+                candidates += cand.size
+                if cand.size == 0:
+                    continue
+                d = self.points[cand] - point
+                hits = cand[np.einsum("ij,ij->i", d, d) <= r2]
+                out_q.append(np.full(hits.size, i, dtype=np.intp))
+                out_p.append(hits)
+            num_rays = qpts.shape[0]
+        q = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
+        p = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)
+        stats = self._charge(num_rays=num_rays, candidates=candidates, confirmed=q.size)
+        return q.astype(np.intp), p.astype(np.intp), stats
+
+
+@register_backend(
+    "kdtree",
+    description="KD-tree fixed-radius search (scipy cKDTree) on the shader cores.",
+)
+@dataclass
+class KDTreeNeighborBackend(_HostNeighborBackend):
+    """KD-tree search — the CPU fast path for interactive use and refits."""
+
+    leafsize: int = 16
+
+    def _build(self) -> None:
+        from scipy.spatial import cKDTree
+
+        self.tree = cKDTree(self.points, leafsize=self.leafsize)
+        self.build_seconds = self.device.cost_model.build_time_s(self.num_points, unit="sm")
+        self._mem_label = f"kdtree_backend_{id(self)}"
+        # Tree nodes + a copy of the coordinates, roughly 2x the point bytes.
+        self.device.memory.allocate(self._mem_label, 2 * self.points.nbytes)
+
+    def neighbor_pairs(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        if queries is None:
+            qpts, self_query = self.points, True
+        else:
+            qpts, self_query = lift_to_3d(validate_points(queries)), False
+        lists = self.tree.query_ball_point(qpts, r=self.radius)
+        lens = np.asarray([len(lst) for lst in lists], dtype=np.intp)
+        q = np.repeat(np.arange(qpts.shape[0], dtype=np.intp), lens)
+        p = (
+            np.concatenate([np.asarray(lst, dtype=np.intp) for lst in lists if lst])
+            if lens.sum()
+            else np.empty(0, dtype=np.intp)
+        )
+        candidates = int(lens.sum())
+        if self_query:
+            keep = q != p
+            q, p = q[keep], p[keep]
+        depth = max(1, math.ceil(math.log2(max(self.num_points, 2))))
+        stats = self._charge(
+            num_rays=qpts.shape[0],
+            candidates=candidates,
+            node_visits=qpts.shape[0] * depth,
+            confirmed=q.size,
+        )
+        return q, p, stats

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.registry import register_backend
 from ..geometry.transforms import lift_to_3d, validate_points
 from ..rtcore.counters import LaunchStats
 from ..rtcore.device import RTDevice
@@ -25,6 +26,10 @@ from ..rtcore.owl import OWLContext, OWLGroup, owl_context_create
 __all__ = ["RTNeighborFinder", "rt_find_neighbors"]
 
 
+@register_backend(
+    "rt",
+    description="ε-sphere ray queries on the simulated RT cores (the paper's Algorithm 2).",
+)
 @dataclass
 class RTNeighborFinder:
     """Fixed-radius neighbour search backed by the simulated RT device.
@@ -81,6 +86,11 @@ class RTNeighborFinder:
     @property
     def num_points(self) -> int:
         return int(self.points.shape[0])
+
+    @property
+    def num_prims(self) -> int:
+        """Scene primitives (spheres, or triangles in triangle mode)."""
+        return len(self.group.geom.primitives)
 
     def _external_programs(self, query_pts: np.ndarray):
         """Intersection program for query points that are not the dataset.

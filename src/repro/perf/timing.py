@@ -117,6 +117,18 @@ class PhaseTimer:
                 Phase(name=name, wall_seconds=wall, simulated_seconds=sim, counts=counts)
             )
 
+    def set_last_phase_seconds(self, simulated_seconds: float) -> None:
+        """Override the simulated time of the most recently recorded phase.
+
+        Used when a phase's cost is computed directly (e.g. the BVH build
+        estimate from the primitive count) rather than from the operation
+        counts the phase recorded.  This is the public replacement for
+        reaching into the private phase list.
+        """
+        if not self._phases:
+            raise ValueError("no phase has been recorded yet")
+        self._phases[-1].simulated_seconds = float(simulated_seconds)
+
     def add_phase(self, name: str, *, counts: OpCounts | None = None,
                   simulated_seconds: float | None = None, wall_seconds: float = 0.0) -> None:
         """Record a phase whose counts/time were computed elsewhere."""

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.protocol import ClustererMixin
+from ..api.registry import register_algorithm
 from ..dbscan.disjoint_set import ParallelDisjointSet
 from ..dbscan.params import NOISE, DBSCANParams, DBSCANResult, canonicalize_labels
 from ..geometry.transforms import lift_to_3d, validate_points
@@ -114,7 +116,12 @@ class StreamUpdate:
         }
 
 
-class StreamingRTDBSCAN:
+@register_algorithm(
+    "streaming-rt-dbscan",
+    description="Incremental RT-DBSCAN over a point stream (sliding window, refit-aware).",
+    supports_partial_fit=True,
+)
+class StreamingRTDBSCAN(ClustererMixin):
     """Incremental RT-DBSCAN over a point stream.
 
     Parameters
@@ -286,7 +293,7 @@ class StreamingRTDBSCAN:
                 counts.merge(accel_counts)
         # The accel time comes from the device's build/refit estimate, not
         # from the recorded counts (mirrors the batch bvh_build phase).
-        timer._phases[-1].simulated_seconds = accel_seconds
+        timer.set_last_phase_seconds(accel_seconds)
 
         # ------------------------------------------------------------ #
         # Stage 1 (incremental): counts from the new points' rays only.
@@ -463,6 +470,25 @@ class StreamingRTDBSCAN:
         return canonicalize_labels(keys), core_mask
 
     # ------------------------------------------------------------------ #
+    def partial_fit(self, points: np.ndarray) -> "StreamingRTDBSCAN":
+        """Ingest one chunk (estimator-API spelling of :meth:`update`).
+
+        Returns ``self`` so calls chain; the per-update record is available
+        via :meth:`result` or by using :meth:`update` directly.
+        """
+        self.update(points)
+        return self
+
+    def fit(self, points: np.ndarray) -> DBSCANResult:
+        """Feed ``points`` as one chunk and return the window labelling.
+
+        On a fresh, unbounded-window engine this is exactly batch
+        :func:`repro.dbscan.rt_dbscan` on the same points; on a live engine
+        it is one more incremental update.
+        """
+        self.update(points)
+        return self.result()
+
     def consume(self, chunks) -> list[StreamUpdate]:
         """Feed every chunk of an iterable through :meth:`update`."""
         return [self.update(chunk) for chunk in chunks]

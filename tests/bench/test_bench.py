@@ -84,7 +84,9 @@ class TestExperimentRegistry:
             "fig4", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
             "table1", "table2", "table3", "fig9a", "fig9b", "fig9c", "sec5d", "sec6c",
         }
-        assert expected == set(list_experiments())
+        # Beyond-paper experiments (e.g. the backend ablation) may extend the
+        # registry; every paper artifact must stay present.
+        assert expected <= set(list_experiments())
 
     def test_specs_reference_known_algorithms(self):
         for spec in EXPERIMENTS.values():

@@ -1,0 +1,62 @@
+"""Tests for DBSCANResult.refit — the Section VI-B minPts shortcut."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs
+from repro.dbscan.rt_dbscan import RTDBSCAN, rt_dbscan
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    pts, _ = make_blobs(500, centers=3, std=0.25, seed=21)
+    return pts
+
+
+@pytest.fixture(scope="module")
+def fitted(blobs):
+    return rt_dbscan(blobs, eps=0.4, min_pts=5)
+
+
+class TestRefit:
+    @pytest.mark.parametrize("new_min_pts", [1, 3, 8, 20, 100])
+    def test_matches_fresh_fit(self, blobs, fitted, new_min_pts):
+        refit = fitted.refit(new_min_pts)
+        fresh = rt_dbscan(blobs, eps=0.4, min_pts=new_min_pts)
+        np.testing.assert_array_equal(refit.labels, fresh.labels)
+        np.testing.assert_array_equal(refit.core_mask, fresh.core_mask)
+
+    def test_skips_stage_one(self, fitted):
+        # The stored counts are reused as-is — no re-count happens.
+        refit = fitted.refit(10)
+        assert refit.neighbor_counts is fitted.neighbor_counts
+        assert refit.report is None
+
+    def test_params_updated_eps_preserved(self, fitted):
+        refit = fitted.refit(10)
+        assert refit.params.min_pts == 10
+        assert refit.params.eps == fitted.params.eps
+        assert refit.extra["refit_from_min_pts"] == fitted.params.min_pts
+
+    def test_refit_chains(self, blobs, fitted):
+        twice = fitted.refit(10).refit(3)
+        fresh = rt_dbscan(blobs, eps=0.4, min_pts=3)
+        np.testing.assert_array_equal(twice.labels, fresh.labels)
+
+    def test_invalid_min_pts_raises(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.refit(0)
+
+    def test_requires_stored_counts(self, blobs):
+        result = RTDBSCAN(eps=0.4, min_pts=5, keep_neighbor_counts=False).fit(blobs)
+        with pytest.raises(ValueError, match="neighbor_counts"):
+            result.refit(10)
+
+    @pytest.mark.parametrize("backend", ["grid", "kdtree", "brute"])
+    def test_refit_from_any_backend(self, blobs, backend):
+        fitted = RTDBSCAN(eps=0.4, min_pts=5, backend=backend).fit(blobs)
+        refit = fitted.refit(12)
+        fresh = rt_dbscan(blobs, eps=0.4, min_pts=12)
+        np.testing.assert_array_equal(refit.labels, fresh.labels)

@@ -145,6 +145,18 @@ class TestPhaseTimer:
             pass
         assert timer.report().phase("build").simulated_seconds == 1.5
 
+    def test_set_last_phase_seconds_overrides(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        with timer.phase("build") as counts:
+            counts.kernel_launches += 1
+        timer.set_last_phase_seconds(2.25)
+        assert timer.report().phase("build").simulated_seconds == 2.25
+
+    def test_set_last_phase_seconds_without_phase_raises(self):
+        timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
+        with pytest.raises(ValueError):
+            timer.set_last_phase_seconds(1.0)
+
     def test_add_phase_direct(self):
         timer = PhaseTimer("algo", DEFAULT_COST_MODEL)
         timer.add_phase("x", counts=OpCounts(distance_computations=100))
