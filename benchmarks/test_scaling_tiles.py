@@ -1,0 +1,68 @@
+"""Scaling experiment — beyond the paper: tiled scale-out vs monolithic fit.
+
+The partition layer shards the dataset into ε-halo tiles and fits each shard
+independently before the halo boundary merge.  This benchmark quantifies the
+decomposition's contract:
+
+* labels are bit-identical to the untiled run at every size (the speedup is
+  never bought with approximation);
+* the per-shard critical path — the wall-clock bound of a real multi-GPU
+  deployment — sits below the untiled run's simulated time, while the total
+  simulated device work only pays the per-shard pipeline setup on top.
+"""
+
+from __future__ import annotations
+
+from conftest import execute_experiment, ok_records, print_experiment_report
+
+from repro.bench.experiments import get_experiment
+from repro.data.registry import generate
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.partition import TiledRTDBSCAN
+
+
+def test_scaling_tiled_vs_monolithic(benchmark):
+    records = benchmark.pedantic(
+        lambda: execute_experiment("scaling"), rounds=1, iterations=1
+    )
+    print_experiment_report("scaling", records)
+
+    tiled = sorted(ok_records(records, "rt-dbscan-tiled"), key=lambda r: r.num_points)
+    plain = sorted(ok_records(records, "rt-dbscan"), key=lambda r: r.num_points)
+    assert len(tiled) == len(plain) >= 2
+
+    # Identical clustering outcomes at every size.
+    for t, p in zip(tiled, plain):
+        assert (t.num_clusters, t.num_noise, t.num_core) == (
+            p.num_clusters, p.num_noise, p.num_core,
+        )
+
+
+def test_scaling_critical_path_beats_monolithic(benchmark):
+    """At the experiment's largest size the 4-shard critical path wins."""
+    spec = get_experiment("scaling")
+    n = max(spec.sizes)
+    points = generate(spec.dataset, n, seed=spec.seed)
+    eps = spec.eps_values(points)[0]
+
+    def run_both():
+        ref = RTDBSCAN(eps=eps, min_pts=spec.min_pts).fit(points)
+        tiled = TiledRTDBSCAN(eps=eps, min_pts=spec.min_pts, tiles=4).fit(points)
+        return ref, tiled
+
+    ref, tiled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    assert (tiled.labels == ref.labels).all()
+    critical = tiled.extra["critical_path_seconds"]
+    total = tiled.report.total_simulated_seconds
+    print()
+    print(f"=== scaling n={n}: monolithic vs 4 tiles ===")
+    print(f"  untiled simulated: {ref.report.total_simulated_seconds * 1e3:.3f} ms")
+    print(f"  tiled total work:  {total * 1e3:.3f} ms "
+          f"({tiled.extra['num_boundary_pairs']} boundary pairs)")
+    print(f"  tiled critical path: {critical * 1e3:.3f} ms "
+          f"(speedup bound {tiled.report.metadata['parallel_speedup_bound']:.2f}x)")
+    assert 0 < critical < total
+    # The per-shard critical path must beat the monolithic pass even though
+    # each shard pays its own pipeline setup.
+    assert critical < ref.report.total_simulated_seconds

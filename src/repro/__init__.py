@@ -19,6 +19,9 @@ the complete system in Python on top of a *simulated* RT device:
   CUDA-DClust+);
 * :mod:`repro.streaming` — incremental window clustering over point streams
   with refit-aware scene maintenance;
+* :mod:`repro.partition` — the scale-out layer: spatial tiling with ε-halo
+  ghost regions, shard-local clustering with an exact boundary merge, and
+  the shared serial/thread/process ``ParallelMap`` executor;
 * :mod:`repro.data`    — synthetic equivalents of the paper's datasets and
   chunked stream generators;
 * :mod:`repro.perf` / :mod:`repro.metrics` / :mod:`repro.bench` — cost model,
@@ -59,11 +62,12 @@ from .dbscan import (
     rt_dbscan,
 )
 from .neighbors import NeighborBackend, RTNeighborFinder, rt_find_neighbors
+from .partition import ParallelMap, Tiler, TiledRTDBSCAN, tiled_rt_dbscan
 from .perf import DEFAULT_COST_MODEL, DeviceCostModel
 from .rtcore import RTDevice, owl_context_create
 from .streaming import RefitPolicy, StreamingRTDBSCAN, StreamUpdate
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "cluster",
@@ -91,6 +95,10 @@ __all__ = [
     "NeighborBackend",
     "RTNeighborFinder",
     "rt_find_neighbors",
+    "ParallelMap",
+    "Tiler",
+    "TiledRTDBSCAN",
+    "tiled_rt_dbscan",
     "DEFAULT_COST_MODEL",
     "DeviceCostModel",
     "RTDevice",

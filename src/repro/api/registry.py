@@ -58,6 +58,7 @@ class AlgorithmEntry:
     instrumented: bool = True
     supports_backend: bool = False
     supports_partial_fit: bool = False
+    supports_tiles: bool = False
     aliases: tuple[str, ...] = ()
 
 
@@ -86,6 +87,7 @@ _BUILTIN_MODULES = (
     "repro.dbscan",
     "repro.baselines",
     "repro.streaming",
+    "repro.partition",
 )
 _builtins_loaded = False
 
@@ -117,13 +119,17 @@ def register_algorithm(
     instrumented: bool = True,
     supports_backend: bool = False,
     supports_partial_fit: bool = False,
+    supports_tiles: bool = False,
     aliases: tuple[str, ...] = (),
 ) -> Callable:
     """Class/function decorator that registers a clusterer factory.
 
     The decorated object must be callable as ``factory(eps=..., min_pts=...,
-    device=..., **params)``.  Registering an already-taken name raises
-    ``ValueError`` — overwriting a registration is always a bug.
+    device=..., **params)``.  Algorithms registered with
+    ``supports_tiles=True`` additionally accept ``tiles=`` / ``workers=``
+    keyword arguments (the partition-layer knobs).  Registering an
+    already-taken name raises ``ValueError`` — overwriting a registration is
+    always a bug.
     """
 
     def decorator(factory: Callable) -> Callable:
@@ -134,6 +140,7 @@ def register_algorithm(
             instrumented=instrumented,
             supports_backend=supports_backend,
             supports_partial_fit=supports_partial_fit,
+            supports_tiles=supports_tiles,
             aliases=tuple(a.lower() for a in aliases),
         )
         for key in (entry.name, *entry.aliases):
@@ -248,4 +255,8 @@ def make_clusterer(spec, *, device=None):
     params = dict(spec.params)
     if backend is not None:
         params["backend"] = backend
+    if spec.tiles is not None:
+        params["tiles"] = spec.tiles
+    if spec.workers is not None:
+        params["workers"] = spec.workers
     return entry.factory(eps=spec.eps, min_pts=spec.min_pts, device=device, **params)

@@ -36,6 +36,11 @@ class ClustererSpec:
     backend:
         Optional neighbour backend name, for algorithms registered with
         ``supports_backend=True``.
+    tiles:
+        Optional spatial tile count for algorithms registered with
+        ``supports_tiles=True`` (the partition layer).
+    workers:
+        Optional executor parallelism for tile-capable algorithms.
     params:
         Extra keyword arguments forwarded to the algorithm factory
         (e.g. ``builder="sah"`` or ``window=2000``).
@@ -45,6 +50,8 @@ class ClustererSpec:
     eps: float | None = None
     min_pts: int = 5
     backend: str | None = None
+    tiles: int | None = None
+    workers: int | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -52,6 +59,13 @@ class ClustererSpec:
             raise ValueError(f"eps must be a positive finite number, got {self.eps}")
         if int(self.min_pts) != self.min_pts or self.min_pts < 1:
             raise ValueError(f"min_pts must be a positive integer, got {self.min_pts}")
+        for name in ("tiles", "workers"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if int(value) != value or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value}")
+            object.__setattr__(self, name, int(value))
         object.__setattr__(self, "min_pts", int(self.min_pts))
         object.__setattr__(self, "params", dict(self.params))
 
@@ -78,6 +92,11 @@ class ClustererSpec:
             raise ValueError(
                 f"algorithm {entry.name!r} does not accept a neighbour backend"
             )
+        if (self.tiles is not None or self.workers is not None) and not entry.supports_tiles:
+            raise ValueError(
+                f"algorithm {entry.name!r} does not accept tiles/workers; "
+                "use a tile-capable algorithm such as 'rt-dbscan-tiled'"
+            )
         return entry, backend
 
     def as_dict(self) -> dict:
@@ -86,5 +105,7 @@ class ClustererSpec:
             "eps": self.eps,
             "min_pts": self.min_pts,
             "backend": self.backend,
+            "tiles": self.tiles,
+            "workers": self.workers,
             "params": dict(self.params),
         }

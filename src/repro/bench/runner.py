@@ -24,6 +24,7 @@ import numpy as np
 from ..api.registry import list_algorithms, resolve_algorithm
 from ..api.spec import ClustererSpec
 from ..dbscan.params import DBSCANResult
+from ..partition.executor import ParallelMap, as_parallel_map
 from ..perf.cost_model import DeviceCostModel
 from ..perf.memory import DeviceMemoryError
 from ..rtcore.device import RTDevice
@@ -174,23 +175,37 @@ def _fill_from_result(record: RunRecord, result: DBSCANResult) -> None:
         record.simulated_seconds = record.wall_seconds
 
 
+def _run_sweep_job(job: tuple) -> RunRecord:
+    """One sweep cell; module-level so process executors can pickle it."""
+    algo, pts, eps, min_pts, label, cost_model, kwargs = job
+    return run_single(algo, pts, eps, min_pts, dataset=label, cost_model=cost_model, **kwargs)
+
+
 def run_sweep(
     algorithms: list[str],
     points_by_config: list[tuple[str, np.ndarray, float, int]],
     *,
     cost_model: DeviceCostModel | None = None,
+    workers: int | ParallelMap | None = None,
+    executor_mode: str | None = None,
     **kwargs,
 ) -> list[RunRecord]:
-    """Run every algorithm on every ``(label, points, eps, min_pts)`` config."""
-    records: list[RunRecord] = []
-    for label, pts, eps, min_pts in points_by_config:
-        for algo in algorithms:
-            records.append(
-                run_single(
-                    algo, pts, eps, min_pts, dataset=label, cost_model=cost_model, **kwargs
-                )
-            )
-    return records
+    """Run every algorithm on every ``(label, points, eps, min_pts)`` config.
+
+    ``workers`` fans the independent (config, algorithm) cells out over the
+    shared :class:`~repro.partition.executor.ParallelMap` executor (an
+    existing executor is also accepted).  The default stays serial so
+    wall-clock timings remain deterministic; simulated timings are unaffected
+    by the strategy because every cell runs on its own simulated device.
+    Records come back in the same order as the serial loop produced them.
+    """
+    executor = as_parallel_map(workers, mode=executor_mode)
+    jobs = [
+        (algo, pts, eps, min_pts, label, cost_model, kwargs)
+        for label, pts, eps, min_pts in points_by_config
+        for algo in algorithms
+    ]
+    return executor.map(_run_sweep_job, jobs)
 
 
 def speedup_series(

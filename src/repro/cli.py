@@ -82,8 +82,14 @@ CLUSTER_EPILOG = textwrap.dedent(
       rt-dbscan cluster --dataset blobs --num-points 5000 --eps 0.3 \\
           --min-pts 10 --algo rt-dbscan --backend kdtree
 
+      # scale out: shard into 4 spatial tiles (eps-halo ghost zones) and fit
+      # them on 4 worker threads; labels are identical to the untiled run
+      rt-dbscan cluster --dataset blobs --num-points 50000 --eps 0.3 \\
+          --min-pts 10 --tiles 4 --workers 4
+
     Algorithm and backend names come from the registry; run `rt-dbscan list`
     to see them all.  --algo also accepts the compact algo@backend spelling.
+    --tiles upgrades the default rt-dbscan to the tiled variant automatically.
     """
 )
 
@@ -117,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default rt-dbscan; see 'rt-dbscan list')")
     p_cluster.add_argument("--backend", choices=list_backends(), default=None,
                            help="neighbour backend for backend-pluggable algorithms")
+    p_cluster.add_argument("--tiles", type=int, default=None,
+                           help="shard into N spatial tiles with eps-halo ghost zones "
+                                "(upgrades rt-dbscan to rt-dbscan-tiled)")
+    p_cluster.add_argument("--workers", type=int, default=None,
+                           help="tile-fit parallelism for the ParallelMap executor "
+                                "(default serial)")
     p_cluster.add_argument("--output", help="write labels (one per line) to this file")
     p_cluster.add_argument("--json", action="store_true", help="print the summary as JSON")
 
@@ -149,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id", choices=list_experiments(), help="experiment id (e.g. fig5c, table1)")
     p_exp.add_argument("--scale", type=float, default=1.0,
                        help="scale factor applied to the experiment's dataset sizes (default 1.0)")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="run the sweep's configurations concurrently on N workers "
+                            "(default serial, keeping wall-clock timings deterministic)")
     p_exp.add_argument("--json", action="store_true", help="print raw records as JSON")
 
     # -- list ------------------------------------------------------------ #
@@ -163,21 +178,44 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
     return generate(args.dataset, args.num_points, seed=args.seed)
 
 
+def _tiled_algorithm_name(algorithm: str, tiles: int | None) -> str:
+    """Upgrade the default algorithm to the tiled variant when --tiles is set.
+
+    Only the plain ``rt-dbscan`` spelling (optionally with an ``@backend``
+    suffix) is rewritten; any other explicit --algo choice is respected and
+    validated against its registry entry instead.
+    """
+    if tiles is None:
+        return algorithm
+    base, sep, backend = algorithm.partition("@")
+    if base.lower() == "rt-dbscan":
+        return f"rt-dbscan-tiled{sep}{backend}"
+    return algorithm
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    algorithm = _tiled_algorithm_name(args.algorithm, args.tiles)
     try:
         # Validates the whole combination up front: algorithm name, backend
-        # name, algo@backend consistency, and the numeric parameters.
-        ClustererSpec(
-            algo=args.algorithm, eps=args.eps, min_pts=args.min_pts,
-            backend=args.backend,
-        ).resolve()
+        # name, algo@backend consistency, tiles/workers support and the
+        # numeric parameters.
+        spec = ClustererSpec(
+            algo=algorithm, eps=args.eps, min_pts=args.min_pts,
+            backend=args.backend, tiles=args.tiles, workers=args.workers,
+        )
+        spec.resolve()
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     points = _load_points(args)
+    extra_kwargs = {}
+    if args.tiles is not None:
+        extra_kwargs["tiles"] = args.tiles
+    if args.workers is not None:
+        extra_kwargs["workers"] = args.workers
     record = run_single(
-        args.algorithm, points, args.eps, args.min_pts,
-        dataset=args.dataset or args.input, backend=args.backend,
+        algorithm, points, args.eps, args.min_pts,
+        dataset=args.dataset or args.input, backend=args.backend, **extra_kwargs,
     )
     if args.json:
         print(json.dumps(record.as_dict(), indent=2))
@@ -188,9 +226,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(format_breakdown(record))
     if args.output and record.status == "ok":
         # Labels are only materialised when they must be persisted.
-        spec = ClustererSpec(
-            algo=args.algorithm, eps=args.eps, min_pts=args.min_pts, backend=args.backend
-        )
         result = make_clusterer(spec).fit(points)
         np.savetxt(args.output, result.labels, fmt="%d")
         print(f"labels written to {args.output}")
@@ -238,7 +273,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.id)
-    records = run_experiment(args.id, scale=args.scale)
+    records = run_experiment(args.id, scale=args.scale, workers=args.workers)
     if args.json:
         print(json.dumps([r.as_dict() for r in records], indent=2))
         return 0
@@ -276,6 +311,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
             tags.append("backends")
         if entry.supports_partial_fit:
             tags.append("partial_fit")
+        if entry.supports_tiles:
+            tags.append("tiles")
         suffix = f"  [{', '.join(tags)}]" if tags else ""
         print(f"  {name:<22} {entry.description}{suffix}")
     print("neighbour backends (for algorithms tagged [backends]):")

@@ -21,6 +21,12 @@ experiment in one mechanism.  Labels are bit-identical across backends; only
 the operations charged to the device cost model differ, so benchmarks can
 report the Section V-D style breakdown (index build vs the two clustering
 stages) for every substrate.
+
+For datasets that outgrow one device (or to use more host cores),
+:class:`~repro.partition.tiled.TiledRTDBSCAN` runs this same pipeline
+shard-locally over spatial tiles with ε-halo ghost regions and stitches the
+shards with the stage-2 :func:`~repro.dbscan.formation.form_clusters` pass —
+labels stay bit-identical to this class's.
 """
 
 from __future__ import annotations

@@ -217,16 +217,25 @@ class GridNeighborBackend(_HostNeighborBackend):
                 out_p.append(pp[keep])
             num_rays = self.num_points
         else:
+            # Batch external queries by grid cell, mirroring the self-query
+            # path: all queries in one cell share the same 3^d candidate
+            # neighbourhood.  The tiled partition layer leans on this — it
+            # launches every owned point as an external query.
             qpts = lift_to_3d(validate_points(queries))
-            for i, point in enumerate(qpts):
-                cand = self.grid.candidate_neighbors(point)
-                candidates += cand.size
+            qcell = self.grid.cell_id_of(qpts)
+            order = np.argsort(qcell, kind="stable")
+            sorted_cells = qcell[order]
+            boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+            for group in np.split(order, boundaries):
+                cand = self.grid.candidate_neighbors(qpts[group[0]])
+                candidates += group.size * cand.size
                 if cand.size == 0:
                     continue
-                d = self.points[cand] - point
-                hits = cand[np.einsum("ij,ij->i", d, d) <= r2]
-                out_q.append(np.full(hits.size, i, dtype=np.intp))
-                out_p.append(hits)
+                d = qpts[group][:, None, :] - self.points[cand][None, :, :]
+                hit = np.einsum("ijk,ijk->ij", d, d) <= r2
+                a, b = np.nonzero(hit)
+                out_q.append(group[a])
+                out_p.append(cand[b])
             num_rays = qpts.shape[0]
         q = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
         p = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)

@@ -81,6 +81,17 @@ class UniformGrid:
         start, count = entry
         return self.order[start : start + count]
 
+    def cell_id_of(self, pts: np.ndarray) -> np.ndarray:
+        """Flattened cell id of each point, vectorised.
+
+        Coordinates are clipped into the grid extent, so out-of-extent
+        points (e.g. external queries near the data boundary) land in the
+        nearest boundary cell — consistent with
+        :meth:`candidate_neighbors`, which clips the same way.
+        """
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        return self._flatten(self._cell_coords(pts))
+
     def candidate_neighbors(self, query: np.ndarray) -> np.ndarray:
         """Point indices in the 3^d cells surrounding ``query`` (unfiltered)."""
         query = np.asarray(query, dtype=np.float64).reshape(1, -1)

@@ -1,0 +1,128 @@
+"""Shared parallel-map executor.
+
+Every scale-out seam in this package — tile fits in
+:class:`~repro.partition.tiled.TiledRTDBSCAN`, benchmark configurations in
+:func:`repro.bench.runner.run_sweep` — reduces to "map a pure function over
+independent items and keep the results in input order".  :class:`ParallelMap`
+is that one abstraction with three interchangeable strategies:
+
+* ``"serial"``  — a plain loop in the calling thread.  The default
+  everywhere, because it keeps wall-clock timings deterministic and adds
+  zero overhead for the common single-worker case.
+* ``"thread"``  — a ``ThreadPoolExecutor``.  The right choice for the
+  NumPy-heavy workloads here (the big array kernels release the GIL) and the
+  only concurrent mode that works with closures.
+* ``"process"`` — a ``ProcessPoolExecutor`` for truly CPU-bound Python.
+  The mapped function and its items must be picklable (module-level
+  functions over plain data), which the tile worker in
+  :mod:`repro.partition.tiled` is designed to satisfy.
+
+Results are always returned as a list in the order of the input items,
+regardless of completion order, so callers' outputs are independent of the
+execution strategy.  Exceptions raised by the mapped function propagate to
+the caller in all modes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+__all__ = ["ParallelMap", "as_parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_MODES = ("serial", "thread", "process")
+
+
+class _StarCall:
+    """Picklable argument-unpacking wrapper (a lambda would break processes)."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)
+
+
+class ParallelMap:
+    """Ordered map over independent items: serial, thread or process backed.
+
+    Parameters
+    ----------
+    workers:
+        Degree of parallelism.  ``None``, ``0`` and ``1`` all mean "no
+        concurrency" and force serial execution regardless of ``mode``.
+    mode:
+        ``"serial"``, ``"thread"`` or ``"process"``.  With ``workers > 1``
+        and the default ``mode=None`` the thread strategy is used.
+
+    Examples
+    --------
+    >>> ParallelMap(workers=4).map(lambda x: x * x, [1, 2, 3])
+    [1, 4, 9]
+    >>> ParallelMap().map(str, range(3))   # serial by default
+    ['0', '1', '2']
+    """
+
+    def __init__(self, workers: int | None = None, mode: str | None = None) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        if mode is not None and mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.workers = int(workers) if workers else 1
+        if self.workers <= 1:
+            self.mode = "serial"
+        else:
+            self.mode = mode or "thread"
+        if self.mode == "serial":
+            self.workers = 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_serial(self) -> bool:
+        return self.mode == "serial"
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Apply ``fn`` to every item; results come back in input order."""
+        items = list(items)
+        if self.is_serial or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self.mode == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(fn, items))
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., _R], items: Iterable[Sequence[Any]]) -> list[_R]:
+        """Like :meth:`map` but unpacks each item as positional arguments.
+
+        Works in every mode: the unpacking wrapper is a picklable object,
+        so process pools accept it whenever ``fn`` itself is picklable.
+        """
+        return self.map(_StarCall(fn), items)
+
+    def __repr__(self) -> str:
+        return f"ParallelMap(workers={self.workers}, mode={self.mode!r})"
+
+
+def as_parallel_map(value: ParallelMap | int | None, *, mode: str | None = None) -> ParallelMap:
+    """Coerce a ``workers`` count or an existing executor into a ParallelMap.
+
+    Accepts ``None`` (serial), an integer worker count, or a ready-made
+    :class:`ParallelMap` (returned unchanged — ``mode`` is ignored then).
+    This is the argument convention used by every API that takes a
+    ``workers=`` parameter.
+    """
+    if isinstance(value, ParallelMap):
+        return value
+    if value is None or isinstance(value, int):
+        return ParallelMap(workers=value, mode=mode)
+    raise TypeError(
+        f"expected a ParallelMap, an int worker count or None, got {type(value).__name__}"
+    )

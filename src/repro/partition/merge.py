@@ -1,0 +1,98 @@
+"""Halo-based boundary merge for tiled clustering.
+
+Each tile of a :class:`~repro.partition.tiled.TiledRTDBSCAN` run produces
+
+* exact ε-neighbour counts (and hence exact core flags) for its *owned*
+  points — exact because the tile's halo contains every point within ε of an
+  owned point, and
+* the complete set of confirmed ``(query, neighbour)`` pairs whose query is
+  an owned point, mapped back to global indices.
+
+Because ownership is a partition, concatenating the per-tile pair lists
+reconstructs **exactly** the global pair set an untiled run discovers: a
+global pair ``(q, p)`` appears once, contributed by the unique tile that owns
+``q`` (its partner ``p`` is locally visible there, owned or halo).  Likewise
+the per-tile core flags assemble the exact global core mask.  The merge then
+feeds both through the same :func:`repro.dbscan.formation.form_clusters`
+stage-2 pass every backend uses: core–core edges — including the cross-halo
+boundary edges — are unioned in one batched
+:class:`~repro.dbscan.disjoint_set.ParallelDisjointSet` pass, border points
+attach to their lowest-indexed core neighbour, and labels are canonicalised
+to the smallest-member numbering.
+
+**Equivalence argument.**  ``form_clusters`` is a deterministic function of
+the pair *multiset* and the core mask: the batched min-hooking union is
+order-independent (each iteration hooks every still-spanning edge's larger
+root onto the smaller simultaneously), border attachment sorts candidates
+before deduplicating, and the final numbering depends only on cluster
+membership.  Since the tiled run hands it the identical pair multiset and the
+identical core mask as an untiled run, the labels are **bit-identical** —
+not merely equivalent up to renumbering.  The union/atomic operation counts
+charged to the cost model are identical too, for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dbscan.formation import form_clusters
+
+__all__ = ["MergeResult", "merge_tiles"]
+
+
+@dataclass
+class MergeResult:
+    """Outcome of the boundary merge across all tiles."""
+
+    #: canonical global labels (identical to an untiled run).
+    labels: np.ndarray
+    #: exact global core mask assembled from per-tile owned flags.
+    core_mask: np.ndarray
+    #: exact global ε-neighbour counts (self excluded).
+    neighbor_counts: np.ndarray
+    #: union (hook) operations performed — for the device cost model.
+    num_unions: int
+    #: atomic border attachments performed — for the device cost model.
+    num_atomics: int
+    #: confirmed pairs whose endpoints live in different tiles.
+    num_boundary_pairs: int
+
+
+def merge_tiles(num_points: int, tile_results) -> MergeResult:
+    """Stitch per-tile shard results into the exact global labelling.
+
+    Parameters
+    ----------
+    num_points:
+        Total number of dataset points.
+    tile_results:
+        Iterables with the per-tile fields produced by the tile worker:
+        ``owned`` (global indices), ``neighbor_counts`` / ``core_mask``
+        (aligned with ``owned``), ``q`` / ``p`` (global pair endpoints) and
+        ``num_boundary_pairs``.
+    """
+    core_mask = np.zeros(num_points, dtype=bool)
+    neighbor_counts = np.zeros(num_points, dtype=np.int64)
+    qs: list[np.ndarray] = []
+    ps: list[np.ndarray] = []
+    boundary = 0
+    for res in tile_results:
+        core_mask[res.owned] = res.core_mask
+        neighbor_counts[res.owned] = res.neighbor_counts
+        qs.append(res.q)
+        ps.append(res.p)
+        boundary += int(res.num_boundary_pairs)
+    q = np.concatenate(qs) if qs else np.empty(0, dtype=np.intp)
+    p = np.concatenate(ps) if ps else np.empty(0, dtype=np.intp)
+
+    formation = form_clusters(q, p, core_mask)
+    return MergeResult(
+        labels=formation.labels,
+        core_mask=core_mask,
+        neighbor_counts=neighbor_counts,
+        num_unions=formation.num_unions,
+        num_atomics=formation.num_atomics,
+        num_boundary_pairs=boundary,
+    )

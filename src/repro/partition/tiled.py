@@ -1,0 +1,372 @@
+"""Tiled RT-DBSCAN: shard-local Algorithm 3 plus halo boundary merge.
+
+:class:`TiledRTDBSCAN` is the scale-out variant of
+:class:`~repro.dbscan.rt_dbscan.RTDBSCAN`: the dataset is split by a
+:class:`~repro.partition.tiler.Tiler` into spatial tiles with ε-halo ghost
+regions, each tile runs the paper's two query stages independently — on its
+own simulated device shard, through **any** registered neighbour backend
+(``rt`` / ``grid`` / ``kdtree`` / ``brute``) — and the per-tile results are
+stitched by :func:`~repro.partition.merge.merge_tiles` into labels that are
+bit-identical to an untiled run (see the equivalence argument in
+:mod:`repro.partition.merge`).
+
+Per tile, ε-queries are launched **only from owned points**, so the stage-1
+and stage-2 ray totals across tiles equal the untiled run's exactly (one ray
+per dataset point per stage); the candidate work (distance computations,
+node visits) *shrinks*, because each shard's index covers only its local
+working set — that reduction is the tiling speedup.  What tiling adds is a
+fixed per-tile cost (pipeline setup + kernel launches) and the redundant
+indexing of halo points, both visible in the aggregated report.
+
+Tile fits run through the shared :class:`~repro.partition.executor.ParallelMap`
+executor — serial by default (deterministic wall-clock), threads or
+processes on request.  The tile worker is a module-level function over plain
+arrays, so process-based execution works out of the box.  Simulated-time
+aggregation is strategy-independent: per-phase simulated seconds are the
+*sum* of the per-tile device times (total device work), while the report
+metadata records the critical path (the slowest tile chain) — the wall-clock
+bound an actual multi-GPU deployment would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api.protocol import ClustererMixin
+from ..api.registry import make_backend, register_algorithm
+from ..dbscan.params import DBSCANParams, DBSCANResult
+from ..geometry.transforms import lift_to_3d, validate_points
+from ..perf.cost_model import DeviceCostModel, OpCounts
+from ..perf.timing import PhaseTimer
+from ..rtcore.device import RTDevice
+from .executor import ParallelMap, as_parallel_map
+from .merge import merge_tiles
+from .tiler import Tiler
+
+__all__ = ["TiledRTDBSCAN", "TileJob", "TileRunResult", "run_tile", "tiled_rt_dbscan"]
+
+
+@dataclass
+class TileJob:
+    """Everything one tile fit needs — plain data, picklable for processes."""
+
+    tile_id: int
+    #: local working set, owned points first (``(m, 3)`` lifted coordinates).
+    points: np.ndarray
+    #: number of leading rows of ``points`` that are owned.
+    num_owned: int
+    #: global index of every local point (owned first, then halo).
+    local_to_global: np.ndarray
+    eps: float
+    min_pts: int
+    backend: str
+    backend_kwargs: dict
+    cost_model: DeviceCostModel
+    has_rt_cores: bool = True
+
+
+@dataclass
+class TileRunResult:
+    """Shard-local outcome of one tile fit, mapped to global indices."""
+
+    tile_id: int
+    num_owned: int
+    num_halo: int
+    #: global indices of the owned points.
+    owned: np.ndarray
+    #: exact ε-neighbour counts of the owned points (self excluded).
+    neighbor_counts: np.ndarray
+    #: exact core flags of the owned points.
+    core_mask: np.ndarray
+    #: confirmed pairs, global indices, query owned by this tile.
+    q: np.ndarray
+    p: np.ndarray
+    #: pairs whose neighbour lives in the halo (owned by another tile).
+    num_boundary_pairs: int
+    build_seconds: float
+    build_prims: int
+    stage1_seconds: float
+    stage2_seconds: float
+    stage1_counts: OpCounts = field(default_factory=OpCounts)
+    stage2_counts: OpCounts = field(default_factory=OpCounts)
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated critical-path time of this tile's chain."""
+        return self.build_seconds + self.stage1_seconds + self.stage2_seconds
+
+    def summary(self) -> dict:
+        counts = OpCounts.sum((self.stage1_counts, self.stage2_counts))
+        return {
+            "tile_id": self.tile_id,
+            "num_owned": self.num_owned,
+            "num_halo": self.num_halo,
+            "num_pairs": int(self.q.size),
+            "num_boundary_pairs": self.num_boundary_pairs,
+            "build_seconds": self.build_seconds,
+            "build_prims": self.build_prims,
+            "stage1_seconds": self.stage1_seconds,
+            "stage2_seconds": self.stage2_seconds,
+            "total_seconds": self.total_seconds,
+            "counts": counts.as_dict(),
+        }
+
+
+def run_tile(job: TileJob) -> TileRunResult:
+    """Run both Algorithm 3 query stages for one tile on its own device shard.
+
+    Queries are the tile's owned points, launched as *external* queries
+    against the local (owned + halo) index so that no halo point ever spends
+    a ray.  External queries carry no self filter, so the self hit (distance
+    zero) is removed here: one count per query, and the ``q == p`` pairs —
+    exactly the paper's ``q != s`` index comparison.
+
+    Module-level on purpose: :class:`~repro.partition.executor.ParallelMap`
+    in process mode needs a picklable callable over plain data.
+    """
+    device = RTDevice(
+        cost_model=job.cost_model,
+        has_rt_cores=job.has_rt_cores,
+        name=f"sim-shard-{job.tile_id}",
+    )
+    finder = make_backend(
+        job.backend, job.points, job.eps, device=device, **job.backend_kwargs
+    )
+    try:
+        owned_pts = job.points[: job.num_owned]
+
+        counts_with_self, stats1 = finder.neighbor_counts(owned_pts)
+        neighbor_counts = counts_with_self.astype(np.int64) - 1
+        core_mask = neighbor_counts >= job.min_pts
+
+        q_loc, p_loc, stats2 = finder.neighbor_pairs(owned_pts)
+        build_seconds = finder.build_seconds
+        build_prims = finder.num_prims
+    finally:
+        finder.release()
+
+    q_glob = job.local_to_global[q_loc]
+    p_glob = job.local_to_global[p_loc]
+    keep = q_glob != p_glob
+    q_glob, p_glob, p_loc = q_glob[keep], p_glob[keep], p_loc[keep]
+    num_boundary = int((p_loc >= job.num_owned).sum())
+
+    return TileRunResult(
+        tile_id=job.tile_id,
+        num_owned=job.num_owned,
+        num_halo=int(job.points.shape[0] - job.num_owned),
+        owned=job.local_to_global[: job.num_owned],
+        neighbor_counts=neighbor_counts,
+        core_mask=core_mask,
+        q=q_glob,
+        p=p_glob,
+        num_boundary_pairs=num_boundary,
+        build_seconds=build_seconds,
+        build_prims=build_prims,
+        stage1_seconds=stats1.simulated_seconds,
+        stage2_seconds=stats2.simulated_seconds,
+        stage1_counts=stats1.counts,
+        stage2_counts=stats2.counts,
+    )
+
+
+@register_algorithm(
+    "rt-dbscan-tiled",
+    description="Algorithm 3 sharded over spatial tiles with eps-halo boundary merge.",
+    supports_backend=True,
+    supports_tiles=True,
+)
+@dataclass
+class TiledRTDBSCAN(ClustererMixin):
+    """Tiled RT-DBSCAN clusterer.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The DBSCAN parameters.
+    device:
+        Simulated device the *aggregated* operation counts are charged to;
+        each tile additionally runs on a private device shard with the same
+        cost model (one simulated GPU per shard).
+    backend:
+        Neighbour-search substrate per tile: ``"rt"`` (default), ``"grid"``,
+        ``"kdtree"`` or ``"brute"``.  Labels are identical across backends
+        and identical to the untiled :class:`~repro.dbscan.rt_dbscan.RTDBSCAN`.
+    tiles:
+        Target tile count (see :class:`~repro.partition.tiler.Tiler`), or
+        ``"auto"`` to scale with the dataset (~one tile per 4096 points,
+        capped at 16).
+    grid:
+        Explicit ``(nx, ny, nz)`` tile grid; overrides ``tiles``.
+    workers:
+        Tile-fit parallelism for the :class:`ParallelMap` executor
+        (default serial).  An existing executor can be passed instead.
+    executor_mode:
+        ``"thread"`` (default for ``workers > 1``) or ``"process"``.
+    builder, leaf_size, chunk_size:
+        Acceleration-structure parameters forwarded to the ``rt`` backend
+        (ignored by the host backends).
+    keep_neighbor_counts:
+        Store per-point neighbour counts and points in the result so
+        :meth:`DBSCANResult.refit` works, as in the untiled pipeline.
+    """
+
+    eps: float
+    min_pts: int
+    device: RTDevice | None = None
+    backend: str = "rt"
+    tiles: int | str = 4
+    grid: tuple[int, int, int] | None = None
+    workers: int | ParallelMap | None = None
+    executor_mode: str | None = None
+    builder: str = "lbvh"
+    leaf_size: int = 4
+    chunk_size: int = 16384
+    keep_neighbor_counts: bool = True
+
+    def __post_init__(self) -> None:
+        self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
+        self.device = self.device or RTDevice()
+        self.backend = str(self.backend).lower()
+        if isinstance(self.tiles, str):
+            if self.tiles != "auto":
+                raise ValueError(f"tiles must be a positive integer or 'auto', got {self.tiles!r}")
+        elif int(self.tiles) < 1:
+            raise ValueError(f"tiles must be a positive integer or 'auto', got {self.tiles}")
+
+    # ------------------------------------------------------------------ #
+    def _num_tiles(self, n: int) -> int:
+        if self.tiles == "auto":
+            return max(1, min(16, n // 4096))
+        return int(self.tiles)
+
+    def _backend_kwargs(self) -> dict:
+        if self.backend == "rt":
+            return {
+                "builder": self.builder,
+                "leaf_size": self.leaf_size,
+                "chunk_size": self.chunk_size,
+            }
+        return {}
+
+    # ------------------------------------------------------------------ #
+    def fit(self, points: np.ndarray) -> DBSCANResult:
+        """Cluster ``points``; labels are bit-identical to an untiled run."""
+        pts3 = lift_to_3d(validate_points(points))
+        n = pts3.shape[0]
+        executor = as_parallel_map(self.workers, mode=self.executor_mode)
+        timer = PhaseTimer("rt-dbscan-tiled", self.device.cost_model)
+
+        # -------------------------------------------------------------- #
+        # Tile split: host-side planning, charged no device time.
+        # -------------------------------------------------------------- #
+        with timer.phase("tile_split", simulated_seconds=0.0):
+            tiler = Tiler(self.params.eps, tiles=self._num_tiles(n), grid=self.grid)
+            tiles = tiler.split(pts3)
+            jobs = [
+                TileJob(
+                    tile_id=t.tile_id,
+                    points=pts3[t.indices],
+                    num_owned=t.num_owned,
+                    local_to_global=t.indices,
+                    eps=self.params.eps,
+                    min_pts=self.params.min_pts,
+                    backend=self.backend,
+                    backend_kwargs=self._backend_kwargs(),
+                    cost_model=self.device.cost_model,
+                    has_rt_cores=self.device.has_rt_cores,
+                )
+                for t in tiles
+            ]
+
+        timer.metadata.update(
+            {
+                "eps": self.params.eps,
+                "min_pts": self.params.min_pts,
+                "num_points": n,
+                "device": self.device.name,
+                "backend": self.backend,
+                "num_tiles": len(tiles),
+                "grid": tuple(int(g) for g in tiler.grid_shape(pts3)),
+                "workers": executor.workers,
+                "executor_mode": executor.mode,
+            }
+        )
+
+        # -------------------------------------------------------------- #
+        # Shard-local clustering: both query stages, per tile, in parallel.
+        # -------------------------------------------------------------- #
+        results = executor.map(run_tile, jobs)
+
+        build_counts = OpCounts(
+            bvh_build_prims=sum(r.build_prims for r in results),
+            kernel_launches=len(results),
+        )
+        stage1_counts = OpCounts.sum(r.stage1_counts for r in results)
+        stage2_counts = OpCounts.sum(r.stage2_counts for r in results)
+        timer.add_phase(
+            "bvh_build",
+            counts=build_counts,
+            simulated_seconds=sum(r.build_seconds for r in results),
+        )
+        timer.add_phase(
+            "core_identification",
+            counts=stage1_counts,
+            simulated_seconds=sum(r.stage1_seconds for r in results),
+        )
+        self.device.charge(build_counts)
+        self.device.charge(stage1_counts)
+
+        # -------------------------------------------------------------- #
+        # Boundary merge: exact global stage 2 over the stitched pair set.
+        # -------------------------------------------------------------- #
+        with timer.phase("cluster_formation") as counts:
+            merged = merge_tiles(n, results)
+            counts.merge(stage2_counts)
+            counts.union_ops += merged.num_unions
+            counts.atomic_ops += merged.num_atomics
+            self.device.charge(
+                OpCounts(union_ops=merged.num_unions, atomic_ops=merged.num_atomics)
+            )
+            self.device.charge(stage2_counts)
+        # Stage-2 query time was simulated on the tile shards; the merge's
+        # union/atomic work is priced by the parent cost model on top.
+        timer.set_last_phase_seconds(
+            sum(r.stage2_seconds for r in results)
+            + self.device.cost_model.time_s(
+                OpCounts(union_ops=merged.num_unions, atomic_ops=merged.num_atomics)
+            )
+        )
+
+        critical = max((r.total_seconds for r in results), default=0.0)
+        report = timer.report()
+        report.metadata["critical_path_seconds"] = critical
+        total_tile_seconds = sum(r.total_seconds for r in results)
+        report.metadata["parallel_speedup_bound"] = (
+            total_tile_seconds / critical if critical > 0 else 1.0
+        )
+
+        return DBSCANResult(
+            labels=merged.labels,
+            core_mask=merged.core_mask,
+            params=self.params,
+            algorithm="rt-dbscan-tiled",
+            report=report,
+            neighbor_counts=merged.neighbor_counts if self.keep_neighbor_counts else None,
+            points=pts3 if self.keep_neighbor_counts else None,
+            extra={
+                "backend": self.backend,
+                "build_seconds": sum(r.build_seconds for r in results),
+                "num_tiles": len(tiles),
+                "num_boundary_pairs": merged.num_boundary_pairs,
+                "critical_path_seconds": critical,
+                "tiles": [r.summary() for r in results],
+            },
+        )
+
+
+def tiled_rt_dbscan(points: np.ndarray, eps: float, min_pts: int, **kwargs) -> DBSCANResult:
+    """Functional convenience wrapper around :class:`TiledRTDBSCAN`."""
+    return TiledRTDBSCAN(eps=eps, min_pts=min_pts, **kwargs).fit(points)

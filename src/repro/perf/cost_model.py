@@ -57,6 +57,19 @@ class OpCounts:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
+    @classmethod
+    def sum(cls, counts) -> "OpCounts":
+        """Aggregate an iterable of OpCounts into a fresh instance.
+
+        Used wherever per-shard records are stitched into one report — the
+        tiled partition layer sums its per-tile stage counts with this so
+        the simulated device totals stay comparable to a monolithic run.
+        """
+        total = cls()
+        for c in counts:
+            total.merge(c)
+        return total
+
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 

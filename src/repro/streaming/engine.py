@@ -194,6 +194,39 @@ class StreamingRTDBSCAN(ClustererMixin):
         self._last_report: ExecutionReport | None = None
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def for_feed(
+        cls,
+        sample_points: np.ndarray,
+        eps: float,
+        min_pts: int,
+        *,
+        window: int | None = None,
+        chunk_size: int,
+        **kwargs,
+    ) -> "StreamingRTDBSCAN":
+        """An engine pre-sized for a feed whose extent is known up front.
+
+        Uses the partition layer's
+        :func:`~repro.partition.tiler.plan_stream_capacity` occupancy bound
+        to size the scene's slot buffer to everything the window can ever
+        hold — so the slot buffer never grows, and the engine never pays a
+        growth-forced rebuild.  ``sample_points`` must cover the feed this
+        engine will actually ingest (for a sharded deployment, build one
+        engine per shard and pass that shard's points); all other keyword
+        arguments are forwarded to the constructor.
+        """
+        from ..partition.tiler import plan_stream_capacity
+
+        capacity = plan_stream_capacity(
+            sample_points, eps, window=window, chunk_size=chunk_size
+        )
+        return cls(
+            eps, min_pts, window=window,
+            initial_capacity=max(256, capacity), **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
     @property
     def eps(self) -> float:
         return self.params.eps

@@ -42,6 +42,8 @@ def _legacy_labels(algo: str, points: np.ndarray) -> np.ndarray:
         engine = repro.StreamingRTDBSCAN(eps=EPS, min_pts=MIN_PTS)
         engine.update(points)
         return engine.result().labels
+    if algo == "rt-dbscan-tiled":
+        return repro.TiledRTDBSCAN(eps=EPS, min_pts=MIN_PTS).fit(points).labels
     raise AssertionError(f"no legacy path recorded for {algo!r} — extend this test")
 
 
@@ -51,13 +53,15 @@ class TestFacadeEquivalence:
         # to _legacy_labels for the equivalence sweep below to cover it.
         for algo in list_algorithms():
             assert algo in {
-                "rt-dbscan", "rt-dbscan-triangles", "fdbscan", "fdbscan-earlyexit",
-                "g-dbscan", "cuda-dclust+", "classic", "streaming-rt-dbscan",
+                "rt-dbscan", "rt-dbscan-triangles", "rt-dbscan-tiled", "fdbscan",
+                "fdbscan-earlyexit", "g-dbscan", "cuda-dclust+", "classic",
+                "streaming-rt-dbscan",
             }
 
     @pytest.mark.parametrize("algo", [
-        "rt-dbscan", "rt-dbscan-triangles", "fdbscan", "fdbscan-earlyexit",
-        "g-dbscan", "cuda-dclust+", "classic", "streaming-rt-dbscan",
+        "rt-dbscan", "rt-dbscan-triangles", "rt-dbscan-tiled", "fdbscan",
+        "fdbscan-earlyexit", "g-dbscan", "cuda-dclust+", "classic",
+        "streaming-rt-dbscan",
     ])
     def test_facade_matches_legacy_constructor(self, blobs, algo):
         got = repro.cluster(blobs, algo, eps=EPS, min_pts=MIN_PTS)

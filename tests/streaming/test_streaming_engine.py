@@ -196,3 +196,36 @@ class TestMaintenancePolicy:
         second = engine.update(_blobs(300, seed=2))  # overflows capacity 64
         assert second.accel_action == "rebuild"
         assert engine.scene.capacity >= 360
+
+    def test_for_feed_pre_sizes_the_slot_buffer(self):
+        """for_feed sizes the scene from the tiler occupancy bound: the slot
+        buffer never grows, so only the first commit is a build."""
+        feed = _blobs(900, seed=3)
+        chunks = [feed[lo : lo + 300] for lo in range(0, 900, 300)]
+        engine = StreamingRTDBSCAN.for_feed(
+            feed, 0.3, 5, chunk_size=300, policy=RefitPolicy(mode="refit")
+        )
+        assert engine.scene.capacity >= 900
+        for chunk in chunks:
+            engine.update(chunk)
+        assert engine.scene.num_builds == 1
+
+        # Same labels as an ordinary unbounded engine over the same chunks.
+        plain = StreamingRTDBSCAN(eps=0.3, min_pts=5, initial_capacity=256)
+        for chunk in chunks:
+            plain.update(chunk)
+        np.testing.assert_array_equal(
+            engine.result().labels, plain.result().labels
+        )
+
+    def test_for_feed_capacity_always_covers_the_feed(self):
+        """The pre-sized buffer must hold the whole feed the engine ingests
+        (the planner's shard bound is per-shard-engine, not for this one)."""
+        feed = _blobs(600, seed=9)
+        engine = StreamingRTDBSCAN.for_feed(
+            feed, 0.3, 5, chunk_size=200, policy=RefitPolicy(mode="refit")
+        )
+        for lo in range(0, 600, 200):
+            engine.update(feed[lo : lo + 200])
+        assert engine.scene.capacity >= 600
+        assert engine.scene.num_builds == 1

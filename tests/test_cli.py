@@ -1,0 +1,159 @@
+"""Tests for the ``rt-dbscan`` command-line interface.
+
+Every subcommand is exercised through :func:`repro.cli.main` — the same code
+path the console script runs — with outputs captured via capsys and files
+written into a pytest temp directory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+CLUSTER_SMALL = [
+    "cluster", "--dataset", "blobs", "--num-points", "500",
+    "--eps", "0.3", "--min-pts", "10",
+]
+
+
+class TestClusterCommand:
+    def test_synthetic_dataset_human_output(self, capsys):
+        assert main(CLUSTER_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "rt-dbscan" in out
+        assert "bvh_build" in out  # breakdown table follows the record line
+
+    def test_json_output(self, capsys):
+        assert main(CLUSTER_SMALL + ["--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["status"] == "ok"
+        assert record["algorithm"] == "rt-dbscan"
+        assert record["num_points"] == 500
+        assert record["num_clusters"] >= 1
+
+    def test_csv_input_and_label_output(self, tmp_path, capsys):
+        rng = np.random.default_rng(5)
+        pts = np.vstack([rng.normal(0, 0.1, (40, 2)), rng.normal(3, 0.1, (40, 2))])
+        csv = tmp_path / "points.csv"
+        np.savetxt(csv, pts, delimiter=",")
+        labels_file = tmp_path / "labels.txt"
+        rc = main([
+            "cluster", "--input", str(csv), "--eps", "0.4", "--min-pts", "5",
+            "--output", str(labels_file),
+        ])
+        assert rc == 0
+        assert "labels written" in capsys.readouterr().out
+        labels = np.loadtxt(labels_file, dtype=int)
+        assert labels.shape == (80,)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_backend_selection(self, capsys):
+        assert main(CLUSTER_SMALL + ["--backend", "kdtree", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["status"] == "ok"
+
+    def test_tiles_flag_upgrades_to_tiled_algorithm(self, capsys):
+        assert main(CLUSTER_SMALL + ["--tiles", "4", "--workers", "2", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["algorithm"] == "rt-dbscan-tiled"
+        assert record["status"] == "ok"
+
+    def test_tiled_labels_match_untiled(self, tmp_path, capsys):
+        plain = tmp_path / "plain.txt"
+        tiled = tmp_path / "tiled.txt"
+        assert main(CLUSTER_SMALL + ["--output", str(plain)]) == 0
+        assert main(CLUSTER_SMALL + ["--tiles", "4", "--output", str(tiled)]) == 0
+        capsys.readouterr()
+        np.testing.assert_array_equal(
+            np.loadtxt(plain, dtype=int), np.loadtxt(tiled, dtype=int)
+        )
+
+    def test_tiles_with_unsupported_algorithm_errors(self, capsys):
+        rc = main(CLUSTER_SMALL + ["--algo", "fdbscan", "--tiles", "4"])
+        assert rc == 2
+        assert "tiles" in capsys.readouterr().err
+
+    def test_unknown_backend_combination_errors(self, capsys):
+        rc = main(CLUSTER_SMALL + ["--algo", "classic", "--backend", "kdtree"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    ARGS = [
+        "stream", "--stream", "drift-blobs", "--chunks", "3",
+        "--chunk-size", "60", "--window", "150", "--min-pts", "5",
+    ]
+
+    def test_human_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "streaming rt-dbscan" in out
+        assert "throughput" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["min_pts"] == 5
+        assert len(payload["updates"]) == 3
+        assert payload["summary"]["points_ingested"] == 180
+
+    def test_unbounded_window_never_grows_the_scene(self, capsys):
+        """plan_stream_capacity pre-sizes the slot buffer: exactly one build."""
+        args = ["stream", "--stream", "drift-blobs", "--chunks", "4",
+                "--chunk-size", "80", "--min-pts", "5", "--mode", "refit", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["scene"]["num_builds"] == 1
+
+
+class TestExperimentCommand:
+    def test_scaling_experiment_end_to_end(self, capsys):
+        assert main(["experiment", "scaling", "--scale", "0.13"]) == 0
+        out = capsys.readouterr().out
+        assert "Tiled scale-out" in out
+        assert "rt-dbscan-tiled" in out
+        assert "Speedup over rt-dbscan" in out
+
+    def test_scaling_experiment_json_with_workers(self, capsys):
+        assert main(["experiment", "scaling", "--scale", "0.13", "--workers", "2"]) == 0
+        # Re-run in JSON mode and check the records are complete and ok.
+        capsys.readouterr()
+        assert main(["experiment", "scaling", "--scale", "0.13", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert {r["algorithm"] for r in records} == {"rt-dbscan", "rt-dbscan-tiled"}
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_backends_experiment_small_scale(self, capsys):
+        assert main(["experiment", "backends", "--scale", "0.13", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert all(r["status"] == "ok" for r in records)
+        assert {r["algorithm"] for r in records} == {
+            "rt-dbscan@brute", "rt-dbscan@grid", "rt-dbscan@kdtree", "rt-dbscan",
+        }
+
+
+class TestListCommand:
+    def test_lists_every_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("datasets:", "streams:", "algorithms:",
+                        "neighbour backends", "experiments:", "streaming experiments:"):
+            assert heading in out
+        assert "rt-dbscan-tiled" in out
+        assert "[backends, tiles]" in out
+        assert "scaling" in out
+
+
+class TestParser:
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--eps", "0.3", "--min-pts", "5"])
