@@ -5,13 +5,27 @@ The default **smoke** profile runs a small, representative slice of the
 experiment registry — the backend ablation, the triangle-mode ablation and
 the tiled-scaling experiment, plus one streaming workload — at a reduced
 scale, so it finishes in minutes on a single CPU.  CI runs it on every push
-and uploads ``BENCH_smoke.json`` as an artifact, which is what gives the
-project a recorded performance trajectory over time.
+(with a wall-clock budget assertion, see ``--budget-file``) and uploads
+``BENCH_smoke.json`` as an artifact, which is what gives the project a
+recorded performance trajectory over time.
+
+The **perf** profile measures *host* performance rather than simulated device
+time: for every neighbour backend it runs one RT-DBSCAN fit on the 50 K-point
+blobs scaling ladder in a fresh subprocess and records wall-clock seconds,
+peak RSS and the tracemalloc peak (the peak size of live Python/NumPy
+intermediates).  Passing ``--baseline older_BENCH_perf.json`` embeds the
+older records and per-configuration speedups, so successive snapshots form a
+wall-clock trajectory.  Labels are recorded as a SHA-256 checksum and the
+simulated device seconds are carried verbatim, which is how a snapshot
+*proves* that a host-side optimisation changed neither the clustering output
+nor the cost-model accounting.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_bench.py                 # smoke profile
     PYTHONPATH=src python scripts/run_bench.py --profile full  # every experiment
+    PYTHONPATH=src python scripts/run_bench.py --profile perf \\
+        --baseline BENCH_perf.json --out BENCH_perf.json
     PYTHONPATH=src python scripts/run_bench.py --experiments scaling backends \\
         --scale 0.25 --workers 2 --out my_bench.json
 
@@ -23,16 +37,21 @@ e.g. ``nohup python scripts/run_bench.py --profile full &``.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import platform
+import resource
+import subprocess
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import repro  # noqa: E402
 from repro.bench.experiments import (  # noqa: E402
+    calibrate_eps,
     list_experiments,
     list_streaming_experiments,
     run_experiment,
@@ -52,10 +71,20 @@ FULL = {
     "scale": 1.0,
 }
 
+#: the perf profile: host wall-clock / memory per backend on the blobs ladder.
+PERF = {
+    "dataset": "blobs",
+    "sizes": (12_500, 25_000, 50_000),
+    "backends": ("rt", "grid", "kdtree", "brute"),
+    "min_pts": 10,
+    "eps_quantile": 0.30,
+    "seed": 2023,
+}
+
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--profile", choices=("smoke", "full"), default="smoke",
+    parser.add_argument("--profile", choices=("smoke", "full", "perf"), default="smoke",
                         help="experiment slice to run (default smoke)")
     parser.add_argument("--experiments", nargs="*", default=None, metavar="ID",
                         help="explicit experiment ids (overrides the profile slice)")
@@ -67,18 +96,160 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="sweep-cell parallelism via the ParallelMap executor")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default BENCH_<profile>.json)")
+    parser.add_argument("--baseline", default=None, metavar="JSON",
+                        help="perf profile: older BENCH_perf.json to compare against")
+    parser.add_argument("--perf-sizes", nargs="*", type=int, default=None, metavar="N",
+                        help="perf profile: explicit ladder sizes (overrides --scale)")
+    parser.add_argument("--budget-file", default=None, metavar="JSON",
+                        help="smoke budget: JSON with smoke_seconds_seed and "
+                             "smoke_budget_factor; exit 3 when the run exceeds "
+                             "seed seconds x factor")
+    parser.add_argument("--perf-child", default=None, help=argparse.SUPPRESS)
     return parser.parse_args(argv)
+
+
+# --------------------------------------------------------------------------- #
+# Perf profile: one (backend, size) measurement per fresh subprocess so that
+# peak RSS and tracemalloc peaks are attributable to a single configuration.
+# --------------------------------------------------------------------------- #
+def perf_child(config_json: str) -> int:
+    """Measure one RT-DBSCAN fit; print a JSON record on stdout."""
+    cfg = json.loads(config_json)
+
+    from repro.data.registry import generate
+    from repro.dbscan.rt_dbscan import RTDBSCAN
+
+    points = generate(cfg["dataset"], cfg["n"], seed=cfg["seed"])
+    clusterer = RTDBSCAN(eps=cfg["eps"], min_pts=cfg["min_pts"], backend=cfg["backend"])
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    result = clusterer.fit(points)
+    wall = time.perf_counter() - t0
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    counts: dict[str, int] = {}
+    if result.report is not None:
+        for phase in result.report.phases:
+            for key, value in phase.counts.as_dict().items():
+                counts[key] = counts.get(key, 0) + int(value)
+
+    record = {
+        "backend": cfg["backend"],
+        "dataset": cfg["dataset"],
+        "n": cfg["n"],
+        "eps": cfg["eps"],
+        "min_pts": cfg["min_pts"],
+        "wall_seconds": wall,
+        "ru_maxrss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+        "tracemalloc_peak_bytes": int(traced_peak),
+        "num_clusters": result.num_clusters,
+        "num_noise": result.num_noise,
+        "labels_sha256": hashlib.sha256(
+            result.labels.astype("int64").tobytes()
+        ).hexdigest(),
+        "simulated_seconds": (
+            result.report.total_simulated_seconds if result.report else None
+        ),
+        "counts": counts,
+    }
+    print(json.dumps(record))
+    return 0
+
+
+def run_perf(args: argparse.Namespace, payload: dict) -> None:
+    """Drive the perf ladder, one subprocess per (size, backend) cell."""
+    from repro.data.registry import generate
+
+    scale = args.scale if args.scale is not None else 1.0
+    if args.perf_sizes:
+        sizes = [int(s) for s in args.perf_sizes]
+    else:
+        sizes = [max(1_000, int(round(s * scale))) for s in PERF["sizes"]]
+    payload["meta"]["perf_config"] = {**PERF, "sizes": sizes}
+    records = []
+    for n in sizes:
+        points = generate(PERF["dataset"], n, seed=PERF["seed"])
+        eps = calibrate_eps(points, PERF["min_pts"], PERF["eps_quantile"])
+        for backend in PERF["backends"]:
+            cfg = {
+                "dataset": PERF["dataset"], "n": n, "seed": PERF["seed"],
+                "eps": eps, "min_pts": PERF["min_pts"], "backend": backend,
+            }
+            print(f"[bench] perf {backend}@{n} (eps={eps:.5g}) ...", flush=True)
+            proc = subprocess.run(
+                [sys.executable, str(Path(__file__).resolve()),
+                 "--perf-child", json.dumps(cfg)],
+                capture_output=True, text=True,
+            )
+            if proc.returncode != 0:
+                print(proc.stderr, file=sys.stderr)
+                raise RuntimeError(f"perf child failed for {backend}@{n}")
+            record = json.loads(proc.stdout.strip().splitlines()[-1])
+            records.append(record)
+            print(f"[bench]   {record['wall_seconds']:.1f}s wall, "
+                  f"{record['ru_maxrss_bytes'] / 2**20:.0f} MiB RSS, "
+                  f"{record['tracemalloc_peak_bytes'] / 2**20:.0f} MiB traced peak",
+                  flush=True)
+    payload["perf"] = {"records": records}
+
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        base_records = base.get("perf", {}).get("records", [])
+        payload["perf"]["baseline"] = {
+            "path": str(args.baseline),
+            "records": base_records,
+        }
+        comparisons = []
+        for rec in records:
+            match = next(
+                (b for b in base_records
+                 if b["backend"] == rec["backend"] and b["n"] == rec["n"]),
+                None,
+            )
+            if match is None:
+                continue
+            comparisons.append({
+                "backend": rec["backend"],
+                "n": rec["n"],
+                "wall_speedup": match["wall_seconds"] / max(rec["wall_seconds"], 1e-9),
+                "rss_ratio": match["ru_maxrss_bytes"] / max(rec["ru_maxrss_bytes"], 1),
+                "traced_peak_ratio": (
+                    match["tracemalloc_peak_bytes"]
+                    / max(rec["tracemalloc_peak_bytes"], 1)
+                ),
+                "labels_identical": match["labels_sha256"] == rec["labels_sha256"],
+                "simulated_seconds_identical": (
+                    match["simulated_seconds"] == rec["simulated_seconds"]
+                ),
+                "counts_identical": match["counts"] == rec["counts"],
+            })
+        payload["perf"]["vs_baseline"] = comparisons
+        if comparisons:
+            total_base = sum(
+                b["wall_seconds"] for b in base_records
+                if any(c["backend"] == b["backend"] and c["n"] == b["n"]
+                       for c in comparisons)
+            )
+            total_now = sum(
+                r["wall_seconds"] for r in records
+                if any(c["backend"] == r["backend"] and c["n"] == r["n"]
+                       for c in comparisons)
+            )
+            payload["perf"]["overall_wall_speedup"] = total_base / max(total_now, 1e-9)
+            print(f"[bench] overall wall speedup vs baseline: "
+                  f"{payload['perf']['overall_wall_speedup']:.2f}x", flush=True)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
-    profile = SMOKE if args.profile == "smoke" else FULL
-    experiments = args.experiments if args.experiments is not None else profile["experiments"]
-    streaming = args.streaming if args.streaming is not None else profile["streaming"]
-    scale = args.scale if args.scale is not None else profile["scale"]
-    out = Path(args.out) if args.out else Path(f"BENCH_{args.profile}.json")
+    if args.perf_child is not None:
+        return perf_child(args.perf_child)
 
     started = time.time()
+    scale = args.scale
     payload: dict = {
         "meta": {
             "profile": args.profile,
@@ -92,6 +263,21 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": {},
         "streaming": {},
     }
+
+    if args.profile == "perf":
+        out = Path(args.out) if args.out else Path("BENCH_perf.json")
+        run_perf(args, payload)
+        payload["meta"]["total_wall_seconds"] = time.time() - started
+        out.write_text(json.dumps(payload, indent=2, default=float))
+        print(f"[bench] wrote {out} ({payload['meta']['total_wall_seconds']:.1f}s total)")
+        return 0
+
+    profile = SMOKE if args.profile == "smoke" else FULL
+    experiments = args.experiments if args.experiments is not None else profile["experiments"]
+    streaming = args.streaming if args.streaming is not None else profile["streaming"]
+    scale = args.scale if args.scale is not None else profile["scale"]
+    payload["meta"]["scale"] = scale
+    out = Path(args.out) if args.out else Path(f"BENCH_{args.profile}.json")
 
     for exp_id in experiments:
         t0 = time.perf_counter()
@@ -119,6 +305,19 @@ def main(argv: list[str] | None = None) -> int:
     payload["meta"]["total_wall_seconds"] = time.time() - started
     out.write_text(json.dumps(payload, indent=2, default=float))
     print(f"[bench] wrote {out} ({payload['meta']['total_wall_seconds']:.1f}s total)")
+
+    if args.budget_file:
+        budget = json.loads(Path(args.budget_file).read_text())
+        seed_seconds = float(budget["smoke_seconds_seed"])
+        factor = float(budget.get("smoke_budget_factor", 2.0))
+        limit = seed_seconds * factor
+        total = payload["meta"]["total_wall_seconds"]
+        if total > limit:
+            print(f"[bench] BUDGET EXCEEDED: {total:.1f}s > {limit:.1f}s "
+                  f"({seed_seconds:.1f}s seed x {factor:g})", file=sys.stderr)
+            return 3
+        print(f"[bench] within budget: {total:.1f}s <= {limit:.1f}s "
+              f"({seed_seconds:.1f}s seed x {factor:g})")
     return 0
 
 

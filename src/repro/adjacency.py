@@ -1,0 +1,107 @@
+"""CSR adjacency — the zero-materialisation contract of the pair pipeline.
+
+Every neighbour backend answers stage-2 queries with a **CSR adjacency**: an
+``indptr`` offset array of shape ``(num_queries + 1,)`` and an ``indices``
+array holding, row by row, the ε-neighbour ids of each query.  Rows are
+emitted in query order and each row's indices are sorted ascending, so the
+representation is *canonical*: two backends that discover the same ε-pair
+multiset produce byte-identical CSR arrays, regardless of traversal order.
+
+This replaces the legacy ``(q_hit, p_hit)`` pair-array contract.  A pair
+array stores the query id once per edge — an O(n·k) intermediate that is
+pure redundancy on top of the neighbour lists — and, worse, every backend
+used to materialise its *candidate* pair set (typically several times larger
+than the confirmed set) before filtering.  Backends now produce the CSR
+chunk-by-chunk (a block of queries at a time) and
+:func:`repro.dbscan.formation.form_clusters_csr` consumes it directly, so
+the full ε-pair set never exists in memory.
+
+The helpers here are deliberately dependency-free (NumPy only) so that every
+layer — ``bvh``, ``rtcore``, ``neighbors``, ``dbscan``, ``partition``,
+``streaming`` — can share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairs_to_csr",
+    "csr_to_pairs",
+    "csr_row_ids",
+    "expand_ranges",
+    "concat_csr",
+]
+
+
+def pairs_to_csr(
+    q: np.ndarray, p: np.ndarray, num_rows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert ``(query, neighbour)`` pair arrays to canonical CSR form.
+
+    Rows are the query ids ``0 .. num_rows - 1``; each row's indices come out
+    sorted ascending.  Used by the few remaining pair producers (e.g. the
+    triangle-mode ablation) to enter the CSR pipeline.
+    """
+    q = np.asarray(q, dtype=np.intp)
+    p = np.asarray(p, dtype=np.intp)
+    order = np.lexsort((p, q))
+    counts = np.bincount(q, minlength=num_rows)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, p[order]
+
+
+def csr_to_pairs(
+    indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a CSR adjacency back into ``(query, neighbour)`` pair arrays.
+
+    This *materialises* the redundant query column — it exists only for the
+    legacy ``neighbor_pairs`` protocol surface and for small result sets
+    (e.g. streaming window updates); the clustering pipelines consume CSR
+    directly.
+    """
+    return csr_row_ids(indptr), np.asarray(indices, dtype=np.intp)
+
+
+def csr_row_ids(indptr: np.ndarray) -> np.ndarray:
+    """Row id of every entry of a CSR adjacency (``np.repeat`` of row ids)."""
+    counts = np.diff(indptr)
+    return np.repeat(np.arange(counts.shape[0], dtype=np.intp), counts)
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for every ``(s, c)`` range, vectorised.
+
+    The shared gather primitive of the wavefront traversal (leaf → primitive
+    ranges) and the grid stencil (cell → point ranges).
+    """
+    counts = np.asarray(counts, dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    starts = np.asarray(starts, dtype=np.intp)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(starts, counts) + (np.arange(total, dtype=np.intp) - offsets)
+
+
+def concat_csr(
+    parts: list[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate row-contiguous CSR fragments into one CSR adjacency.
+
+    ``parts`` is a list of ``(indptr, indices)`` fragments whose rows are
+    consecutive (fragment ``k`` holds the rows immediately following fragment
+    ``k - 1``), which is exactly what a chunk-by-chunk producer emits.
+    """
+    if not parts:
+        return np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.intp)
+    indptrs, indexes = zip(*parts)
+    offsets = np.cumsum([0] + [idx.shape[0] for idx in indexes])
+    merged_ptr = np.concatenate(
+        [np.asarray(ptr[:-1], dtype=np.int64) + off
+         for ptr, off in zip(indptrs, offsets[:-1])]
+        + [np.asarray([offsets[-1]], dtype=np.int64)]
+    )
+    return merged_ptr, np.concatenate(indexes)

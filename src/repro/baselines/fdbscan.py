@@ -24,12 +24,11 @@ import numpy as np
 from ..api.protocol import ClustererMixin
 from ..api.registry import register_algorithm
 from ..bvh.lbvh import build_lbvh
-from ..bvh.traversal import point_query_counts_early_exit, point_query_pairs
-from ..dbscan.disjoint_set import ParallelDisjointSet
-from ..dbscan.labels import labels_from_roots
-from ..dbscan.params import DBSCANParams, DBSCANResult, canonicalize_labels
+from ..bvh.traversal import point_query_counts_early_exit, point_query_csr
+from ..dbscan.formation import form_clusters_csr
+from ..dbscan.params import DBSCANParams, DBSCANResult
 from ..geometry.aabb import AABB
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import OpCounts
 from ..perf.timing import PhaseTimer
 from ..rtcore.device import RTDevice
@@ -73,7 +72,7 @@ class FDBSCAN(ClustererMixin):
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points`` with the FDBSCAN algorithm."""
-        pts = lift_to_3d(validate_points(points))
+        pts = ensure_points3d(points)
         n = pts.shape[0]
         eps = self.params.eps
         algorithm = "fdbscan-earlyexit" if self.early_exit else "fdbscan"
@@ -116,12 +115,14 @@ class FDBSCAN(ClustererMixin):
             # ------------------------------------------------------------ #
             with timer.phase("core_identification") as counts:
                 if self.early_exit:
-                    q_idx1, p_idx1, stats1 = point_query_pairs(
-                        bvh, pts, chunk_size=self.chunk_size
+                    # The exact counts plus the per-query candidate histogram
+                    # come from one counting traversal — the candidate pair
+                    # set itself is never materialised.
+                    cand_per_q = np.zeros(n, dtype=np.int64)
+                    neighbor_counts, stats1 = point_query_counts_early_exit(
+                        bvh, pts, confirm, min_count=None,
+                        chunk_size=self.chunk_size, candidate_counts=cand_per_q,
                     )
-                    hit1 = confirm(q_idx1, p_idx1)
-                    neighbor_counts = np.bincount(q_idx1[hit1], minlength=n).astype(np.int64)
-                    cand_per_q = np.bincount(q_idx1, minlength=n).astype(np.int64)
                     frac = np.ones(n, dtype=np.float64)
                     reached = neighbor_counts >= self.params.min_pts
                     frac[reached] = self.params.min_pts / np.maximum(
@@ -156,41 +157,31 @@ class FDBSCAN(ClustererMixin):
             # are recomputed (FDBSCAN stores nothing).
             # ------------------------------------------------------------ #
             with timer.phase("cluster_formation") as counts:
-                q_idx, p_idx, stats2 = point_query_pairs(bvh, pts, chunk_size=self.chunk_size)
+                indptr, indices, stats2 = point_query_csr(
+                    bvh, pts, confirm, chunk_size=self.chunk_size
+                )
                 counts.sm_node_visits += stats2.node_visits
                 counts.distance_computations += stats2.candidates
                 counts.kernel_launches += 1
-                hit = confirm(q_idx, p_idx)
-                q_hit, p_hit = q_idx[hit], p_idx[hit]
 
-                forest = ParallelDisjointSet(n)
-                from_core = core_mask[q_hit]
-                cq, cp = q_hit[from_core], p_hit[from_core]
-                both_core = core_mask[cp]
-                forest.union_edges(cq[both_core], cp[both_core])
-                forest.attach(cp[~both_core], cq[~both_core])
-
-                counts.union_ops += forest.num_unions
-                counts.atomic_ops += forest.num_atomics
+                formation = form_clusters_csr(indptr, indices, core_mask)
+                counts.union_ops += formation.num_unions
+                counts.atomic_ops += formation.num_atomics
                 self.device.charge(
                     OpCounts(
                         sm_node_visits=stats2.node_visits,
                         distance_computations=stats2.candidates,
-                        union_ops=forest.num_unions,
-                        atomic_ops=forest.num_atomics,
+                        union_ops=formation.num_unions,
+                        atomic_ops=formation.num_atomics,
                         kernel_launches=1,
                     )
                 )
-
-                roots = forest.roots()
-                assigned = np.zeros(n, dtype=bool)
-                assigned[np.unique(cp[~both_core])] = True
-                labels = labels_from_roots(roots, core_mask, assigned_mask=assigned)
+                labels = formation.labels
         finally:
             self.device.memory.free("fdbscan_bvh")
 
         return DBSCANResult(
-            labels=canonicalize_labels(labels),
+            labels=labels,
             core_mask=core_mask,
             params=self.params,
             algorithm=algorithm,

@@ -13,6 +13,7 @@ from .sah import build_sah
 from .traversal import (
     TraversalStats,
     point_query_counts_early_exit,
+    point_query_csr,
     point_query_pairs,
     ray_query_pairs,
 )
@@ -28,5 +29,6 @@ __all__ = [
     "TraversalStats",
     "point_query_pairs",
     "point_query_counts_early_exit",
+    "point_query_csr",
     "ray_query_pairs",
 ]

@@ -51,6 +51,15 @@ class BVH:
     leaf_size: int = 4
     build_stats: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Structure-of-arrays lookups the wavefront traversal reads every
+        # level: precomputed once at build time instead of being re-derived
+        # per frontier pass.  ``children[i] = (left[i], right[i])`` lets the
+        # traversal expand a frontier with a single fancy-index gather, and
+        # the cached leaf mask avoids an O(num_nodes) comparison per level.
+        self._leaf_mask = self.left == INVALID_NODE
+        self._children = np.column_stack((self.left, self.right))
+
     # ------------------------------------------------------------------ #
     @property
     def num_nodes(self) -> int:
@@ -73,7 +82,12 @@ class BVH:
 
     @property
     def leaf_mask(self) -> np.ndarray:
-        return self.left == INVALID_NODE
+        return self._leaf_mask
+
+    @property
+    def children(self) -> np.ndarray:
+        """``(m, 2)`` child-pair table (SoA layout for the wavefront kernels)."""
+        return self._children
 
     @property
     def depth(self) -> int:

@@ -1,4 +1,4 @@
-"""Batched BVH traversal kernels.
+"""Batched BVH traversal kernels — the coherent wavefront.
 
 The RT-DBSCAN reduction turns every neighbourhood query into an
 infinitesimally short ray, which behaves exactly like a *point* query against
@@ -8,6 +8,26 @@ level-synchronous frontier of ``(query, node)`` pairs and vectorise the
 containment tests over the whole frontier — the software analogue of the
 wavefront the RT cores would process in hardware.
 
+Wavefront coherence
+-------------------
+Within each launch chunk the queries are **sorted by Morton code** before
+traversal (the scheduling trick the RT cores' ray-coherence hardware
+exploits): spatially adjacent queries then walk the same subtrees at the same
+level, so the frontier's node gathers hit runs of identical nodes and the
+surviving-query masks stay dense instead of fragmenting.  The per-query visit
+*set* is a property of the tree alone, so the reordering changes none of the
+operation counts the cost model charges — only the host-side memory-access
+pattern.  Child links and the leaf mask are precomputed structure-of-arrays
+lookups on :class:`~repro.bvh.node.BVH` (``children``, ``leaf_mask``), so a
+frontier expansion is a single fancy-index gather per level.
+
+:func:`point_query_csr` is the stage-2 workhorse: it confirms candidates
+chunk-by-chunk with the caller's Intersection program and emits a canonical
+CSR adjacency directly, so the full candidate pair set — typically several
+times the confirmed set — never exists in memory.  The legacy
+:func:`point_query_pairs` (all candidates, materialised) is kept for
+callers that genuinely need raw candidates.
+
 Every kernel reports a :class:`TraversalStats` record with the operation
 counts the device timing model (``repro.perf``) converts into simulated
 execution time: box tests (node visits), leaf visits, and intersection-program
@@ -16,14 +36,24 @@ invocations (candidate primitive checks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ..geometry.morton import morton_order
 from .node import BVH
 
-__all__ = ["TraversalStats", "point_query_pairs", "point_query_counts_early_exit", "ray_query_pairs"]
+__all__ = [
+    "TraversalStats",
+    "point_query_pairs",
+    "point_query_counts_early_exit",
+    "point_query_csr",
+    "ray_query_pairs",
+]
+
+#: below this many queries a Morton sort costs more than the coherence wins.
+_COHERENCE_MIN_QUERIES = 1024
 
 
 @dataclass
@@ -73,7 +103,70 @@ def _contains(bvh: BVH, points: np.ndarray, q: np.ndarray, nodes: np.ndarray) ->
     p = points[q]
     lo = bvh.node_lower[nodes]
     hi = bvh.node_upper[nodes]
-    return ((p >= lo) & (p <= hi)).all(axis=1)
+    # Column-chained compare-and-accumulate: no (k, 3) boolean temporaries
+    # and no axis reduction — the frontier's hottest few lines.
+    keep = p[:, 0] >= lo[:, 0]
+    keep &= p[:, 0] <= hi[:, 0]
+    keep &= p[:, 1] >= lo[:, 1]
+    keep &= p[:, 1] <= hi[:, 1]
+    keep &= p[:, 2] >= lo[:, 2]
+    keep &= p[:, 2] <= hi[:, 2]
+    return keep
+
+
+def _coherent_chunk(points: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Query ids of one launch chunk, Morton-sorted for traversal coherence."""
+    q = np.arange(lo, hi, dtype=np.intp)
+    if hi - lo >= _COHERENCE_MIN_QUERIES:
+        q = q[morton_order(points[lo:hi])]
+    return q
+
+
+def _traverse_chunk(
+    bvh: BVH,
+    points: np.ndarray,
+    q: np.ndarray,
+    stats: TraversalStats,
+    on_leaf: Callable[[np.ndarray, np.ndarray], None],
+    prune: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> None:
+    """The level-synchronous frontier core shared by every point-query kernel.
+
+    Walks one launch chunk's ``(query, node)`` frontier, charges the node /
+    leaf / candidate counters, and hands each level's candidate expansion to
+    ``on_leaf(rep_q, rep_p)`` — the only part that differs between the
+    pair-emitting, counting and CSR kernels.  ``prune`` (early exit) filters
+    the next level's frontier by query id.
+    """
+    leaf_mask = bvh.leaf_mask
+    children = bvh.children
+    nodes = np.zeros(q.shape[0], dtype=np.intp)
+    level = 0
+    while q.size:
+        level += 1
+        stats.node_visits += int(q.size)
+        keep = _contains(bvh, points, q, nodes)
+        q, nodes = q[keep], nodes[keep]
+        if q.size == 0:
+            break
+        leaf = leaf_mask[nodes]
+        if leaf.any():
+            leaf_q = q[leaf]
+            leaf_nodes = nodes[leaf]
+            stats.leaf_visits += int(leaf_nodes.size)
+            idx = _expand_leaf_ranges(bvh, leaf_nodes)
+            rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
+            rep_p = bvh.prim_indices[idx]
+            stats.candidates += int(rep_p.size)
+            on_leaf(rep_q, rep_p)
+        internal = ~leaf
+        inodes = nodes[internal]
+        q = np.repeat(q[internal], 2)
+        nodes = children[inodes].reshape(-1)
+        if prune is not None and q.size:
+            still_active = prune(q)
+            q, nodes = q[still_active], nodes[still_active]
+    stats.levels = max(stats.levels, level)
 
 
 def point_query_pairs(
@@ -87,6 +180,10 @@ def point_query_pairs(
     A pair ``(i, j)`` is emitted whenever query point ``i`` lies inside the
     AABB of primitive-owning leaf ``j`` reached during traversal; the exact
     primitive test (the Intersection program) is applied by the caller.
+
+    This kernel *materialises the full candidate set*; pipelines that only
+    need the confirmed adjacency should use :func:`point_query_csr`, which
+    confirms chunk-by-chunk and keeps peak memory proportional to one chunk.
 
     Parameters
     ----------
@@ -108,35 +205,13 @@ def point_query_pairs(
     out_q: list[np.ndarray] = []
     out_p: list[np.ndarray] = []
 
+    def on_leaf(rep_q: np.ndarray, rep_p: np.ndarray) -> None:
+        out_q.append(rep_q)
+        out_p.append(rep_p)
+
     for lo_q in range(0, nq, chunk_size):
         hi_q = min(nq, lo_q + chunk_size)
-        q = np.arange(lo_q, hi_q, dtype=np.intp)
-        nodes = np.zeros(q.shape[0], dtype=np.intp)
-        level = 0
-        while q.size:
-            level += 1
-            stats.node_visits += int(q.size)
-            keep = _contains(bvh, points, q, nodes)
-            q, nodes = q[keep], nodes[keep]
-            if q.size == 0:
-                break
-            leaf = bvh.leaf_mask[nodes]
-            if leaf.any():
-                leaf_q = q[leaf]
-                leaf_nodes = nodes[leaf]
-                stats.leaf_visits += int(leaf_nodes.size)
-                idx = _expand_leaf_ranges(bvh, leaf_nodes)
-                rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
-                rep_p = bvh.prim_indices[idx]
-                stats.candidates += int(rep_p.size)
-                out_q.append(rep_q)
-                out_p.append(rep_p)
-            internal = ~leaf
-            iq = q[internal]
-            inodes = nodes[internal]
-            q = np.concatenate([iq, iq])
-            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
-        stats.levels = max(stats.levels, level)
+        _traverse_chunk(bvh, points, _coherent_chunk(points, lo_q, hi_q), stats, on_leaf)
 
     query_idx = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
     prim_idx = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)
@@ -150,6 +225,7 @@ def point_query_counts_early_exit(
     *,
     min_count: int | None = None,
     chunk_size: int = 16384,
+    candidate_counts: np.ndarray | None = None,
 ) -> tuple[np.ndarray, TraversalStats]:
     """Count confirmed hits per query, optionally stopping at ``min_count``.
 
@@ -163,6 +239,11 @@ def point_query_counts_early_exit(
     confirm:
         Callback mapping candidate ``(query_idx, prim_idx)`` arrays to a
         boolean array of confirmed hits (the Intersection-program test).
+    candidate_counts:
+        Optional ``(nq,)`` int64 array accumulating the number of candidate
+        primitives examined per query — the per-query breakdown FDBSCAN's
+        early-exit cost analysis needs, gathered here so callers never have
+        to materialise the candidate pair set just to histogram it.
 
     Returns
     -------
@@ -175,41 +256,81 @@ def point_query_counts_early_exit(
     counts = np.zeros(nq, dtype=np.int64)
     stats = TraversalStats(queries=nq)
 
+    def on_leaf(rep_q: np.ndarray, rep_p: np.ndarray) -> None:
+        if candidate_counts is not None:
+            np.add.at(candidate_counts, rep_q, 1)
+        if rep_p.size:
+            ok = np.asarray(confirm(rep_q, rep_p), dtype=bool)
+            stats.confirmed += int(ok.sum())
+            np.add.at(counts, rep_q[ok], 1)
+
+    prune = None
+    if min_count is not None:
+        def prune(q: np.ndarray) -> np.ndarray:
+            return counts[q] < min_count
+
     for lo_q in range(0, nq, chunk_size):
         hi_q = min(nq, lo_q + chunk_size)
-        q = np.arange(lo_q, hi_q, dtype=np.intp)
-        nodes = np.zeros(q.shape[0], dtype=np.intp)
-        level = 0
-        while q.size:
-            level += 1
-            stats.node_visits += int(q.size)
-            keep = _contains(bvh, points, q, nodes)
-            q, nodes = q[keep], nodes[keep]
-            if q.size == 0:
-                break
-            leaf = bvh.leaf_mask[nodes]
-            if leaf.any():
-                leaf_q = q[leaf]
-                leaf_nodes = nodes[leaf]
-                stats.leaf_visits += int(leaf_nodes.size)
-                idx = _expand_leaf_ranges(bvh, leaf_nodes)
-                rep_q = np.repeat(leaf_q, bvh.prim_count[leaf_nodes])
-                rep_p = bvh.prim_indices[idx]
-                stats.candidates += int(rep_p.size)
-                if rep_p.size:
-                    ok = np.asarray(confirm(rep_q, rep_p), dtype=bool)
-                    stats.confirmed += int(ok.sum())
-                    np.add.at(counts, rep_q[ok], 1)
-            internal = ~leaf
-            iq = q[internal]
-            inodes = nodes[internal]
-            q = np.concatenate([iq, iq])
-            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
-            if min_count is not None and q.size:
-                still_active = counts[q] < min_count
-                q, nodes = q[still_active], nodes[still_active]
-        stats.levels = max(stats.levels, level)
+        _traverse_chunk(
+            bvh, points, _coherent_chunk(points, lo_q, hi_q), stats, on_leaf, prune
+        )
     return counts, stats
+
+
+def point_query_csr(
+    bvh: BVH,
+    points: np.ndarray,
+    confirm: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    chunk_size: int = 16384,
+) -> tuple[np.ndarray, np.ndarray, TraversalStats]:
+    """Confirmed-hit CSR adjacency, built chunk-by-chunk.
+
+    Every candidate is confirmed with the caller's Intersection program as
+    soon as its chunk's traversal discovers it, and each chunk's confirmed
+    hits are canonicalised (rows in query order, indices sorted ascending)
+    before the next chunk launches.  Peak intermediate memory is therefore
+    one chunk's candidates plus the confirmed adjacency itself — the full
+    ``(query, primitive)`` candidate set is never materialised.
+
+    Returns
+    -------
+    (indptr, indices, stats)
+        Canonical CSR over the ``nq`` query rows; ``stats`` carries the same
+        operation counts a :func:`point_query_pairs` + confirm pipeline
+        would have charged (the traversal is identical).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    nq = points.shape[0]
+    stats = TraversalStats(queries=nq)
+    row_counts = np.zeros(nq, dtype=np.int64)
+    parts: list[np.ndarray] = []
+
+    for lo_q in range(0, nq, chunk_size):
+        hi_q = min(nq, lo_q + chunk_size)
+        hit_q: list[np.ndarray] = []
+        hit_p: list[np.ndarray] = []
+
+        def on_leaf(rep_q: np.ndarray, rep_p: np.ndarray) -> None:
+            if rep_p.size:
+                ok = np.asarray(confirm(rep_q, rep_p), dtype=bool)
+                stats.confirmed += int(ok.sum())
+                hit_q.append(rep_q[ok])
+                hit_p.append(rep_p[ok])
+
+        _traverse_chunk(bvh, points, _coherent_chunk(points, lo_q, hi_q), stats, on_leaf)
+
+        if hit_q:
+            cq = np.concatenate(hit_q)
+            cp = np.concatenate(hit_p)
+            order = np.lexsort((cp, cq))
+            row_counts[lo_q:hi_q] = np.bincount(cq - lo_q, minlength=hi_q - lo_q)
+            parts.append(cp[order])
+
+    indptr = np.zeros(nq + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=indptr[1:])
+    indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+    return indptr, indices, stats
 
 
 def ray_query_pairs(
@@ -234,12 +355,14 @@ def ray_query_pairs(
         inv_dirs = 1.0 / directions
     nq = origins.shape[0]
     stats = TraversalStats(queries=nq)
+    leaf_mask = bvh.leaf_mask
+    children = bvh.children
     out_q: list[np.ndarray] = []
     out_p: list[np.ndarray] = []
 
     for lo_q in range(0, nq, chunk_size):
         hi_q = min(nq, lo_q + chunk_size)
-        q = np.arange(lo_q, hi_q, dtype=np.intp)
+        q = _coherent_chunk(origins, lo_q, hi_q)
         nodes = np.zeros(q.shape[0], dtype=np.intp)
         level = 0
         while q.size:
@@ -259,7 +382,7 @@ def ray_query_pairs(
             q, nodes = q[keep], nodes[keep]
             if q.size == 0:
                 break
-            leaf = bvh.leaf_mask[nodes]
+            leaf = leaf_mask[nodes]
             if leaf.any():
                 leaf_q = q[leaf]
                 leaf_nodes = nodes[leaf]
@@ -271,10 +394,9 @@ def ray_query_pairs(
                 out_q.append(rep_q)
                 out_p.append(rep_p)
             internal = ~leaf
-            iq = q[internal]
             inodes = nodes[internal]
-            q = np.concatenate([iq, iq])
-            nodes = np.concatenate([bvh.left[inodes], bvh.right[inodes]])
+            q = np.repeat(q[internal], 2)
+            nodes = children[inodes].reshape(-1)
         stats.levels = max(stats.levels, level)
 
     query_idx = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)

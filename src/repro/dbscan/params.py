@@ -117,8 +117,9 @@ class DBSCANResult:
         This is the Section VI-B shortcut: the stored per-point neighbour
         counts already determine the new core set, so only cluster formation
         (stage 2) runs again — no second core-identification launch.  The
-        ε-pairs are recomputed host-side with the KD-tree backend and merged
-        with the same union–find formation pass every backend uses, so the
+        ε-adjacency is recomputed host-side with the KD-tree backend as a
+        CSR launch and consumed directly by the same union–find formation
+        pass every backend uses (no pair arrays are materialised), so the
         result is bit-identical to a fresh ``RTDBSCAN(eps, min_pts).fit``.
 
         Requires ``neighbor_counts`` and ``points`` (kept by default via
@@ -135,14 +136,14 @@ class DBSCANResult:
         core_mask = self.neighbor_counts >= params.min_pts
 
         from ..neighbors.backend import KDTreeNeighborBackend
-        from .formation import form_clusters
+        from .formation import form_clusters_csr
 
         backend = KDTreeNeighborBackend(self.points, params.eps)
         try:
-            q_hit, p_hit, _ = backend.neighbor_pairs()
+            indptr, indices, _ = backend.neighbor_csr()
         finally:
             backend.release()
-        formation = form_clusters(q_hit, p_hit, core_mask)
+        formation = form_clusters_csr(indptr, indices, core_mask)
         return DBSCANResult(
             labels=formation.labels,
             core_mask=core_mask,

@@ -37,11 +37,11 @@ import numpy as np
 
 from ..api.protocol import ClustererMixin
 from ..api.registry import make_backend, register_algorithm
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import OpCounts
 from ..perf.timing import PhaseTimer
 from ..rtcore.device import RTDevice
-from .formation import form_clusters
+from .formation import form_clusters_csr
 from .params import DBSCANParams, DBSCANResult
 
 __all__ = ["RTDBSCAN", "rt_dbscan"]
@@ -117,7 +117,7 @@ class RTDBSCAN(ClustererMixin):
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points`` and return the labelling with its timing report."""
-        pts3 = lift_to_3d(validate_points(points))
+        pts3 = ensure_points3d(points)
         n = pts3.shape[0]
         timer = PhaseTimer("rt-dbscan", self.device.cost_model)
         timer.metadata.update(
@@ -157,9 +157,9 @@ class RTDBSCAN(ClustererMixin):
             with timer.phase("core_identification") as counts:
                 if self.triangle_mode:
                     # Triangle hits over-count per-sphere intersections, so
-                    # the counts come from deduplicated hit pairs instead.
-                    q_hit, p_hit, stats1 = finder.neighbor_pairs()
-                    neighbor_counts = np.bincount(q_hit, minlength=n).astype(np.int64)
+                    # the counts come from the deduplicated hit adjacency.
+                    indptr, indices, stats1 = finder.neighbor_csr()
+                    neighbor_counts = np.diff(indptr)
                 else:
                     neighbor_counts, stats1 = finder.neighbor_counts()
                 counts.merge(stats1.counts)
@@ -167,14 +167,17 @@ class RTDBSCAN(ClustererMixin):
 
             # ---------------------------------------------------------- #
             # Stage 2 — cluster formation with union-find (lines 7-18).
+            # The adjacency is recomputed as a CSR launch (the redundant
+            # work the paper accepts) and consumed directly — no pair
+            # arrays are materialised (triangle mode already holds its
+            # deduplicated adjacency from stage 1).
             # ---------------------------------------------------------- #
             with timer.phase("cluster_formation") as counts:
                 if not self.triangle_mode:
-                    # Recompute the pairs (triangle mode already has them).
-                    q_hit, p_hit, stats2 = finder.neighbor_pairs()
+                    indptr, indices, stats2 = finder.neighbor_csr()
                     counts.merge(stats2.counts)
 
-                formation = form_clusters(q_hit, p_hit, core_mask)
+                formation = form_clusters_csr(indptr, indices, core_mask)
                 counts.union_ops += formation.num_unions
                 counts.atomic_ops += formation.num_atomics
                 self.device.charge(

@@ -26,6 +26,7 @@ from .ray import (
 from .sphere import SphereGeometry
 from .transforms import (
     bounding_extent,
+    ensure_points3d,
     lift_to_3d,
     minmax_normalize,
     standardize,
@@ -52,6 +53,7 @@ __all__ = [
     "ray_sphere_intersect",
     "SphereGeometry",
     "bounding_extent",
+    "ensure_points3d",
     "lift_to_3d",
     "minmax_normalize",
     "standardize",

@@ -13,6 +13,7 @@ import numpy as np
 __all__ = [
     "lift_to_3d",
     "validate_points",
+    "ensure_points3d",
     "minmax_normalize",
     "standardize",
     "bounding_extent",
@@ -43,6 +44,23 @@ def lift_to_3d(points: np.ndarray) -> np.ndarray:
         return arr
     z = np.zeros((arr.shape[0], 1), dtype=np.float64)
     return np.hstack([arr, z])
+
+
+def ensure_points3d(points: np.ndarray, *, name: str = "points") -> np.ndarray:
+    """Validate and lift in a single pass — the hot-path entry point.
+
+    ``lift_to_3d(validate_points(x))`` validates twice (``lift_to_3d`` calls
+    ``validate_points`` internally), which on large arrays means two extra
+    full scans of the data.  This helper performs exactly one validation and
+    one (conditional) lift; already-3D ``float64`` input passes through with
+    no copy at all.
+    """
+    arr = validate_points(points, name=name)
+    if arr.shape[1] == 3:
+        return arr
+    out = np.zeros((arr.shape[0], 3), dtype=np.float64)
+    out[:, :2] = arr
+    return out
 
 
 def minmax_normalize(points: np.ndarray) -> np.ndarray:

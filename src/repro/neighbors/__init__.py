@@ -15,7 +15,12 @@ from .backend import (
     KDTreeNeighborBackend,
     NeighborBackend,
 )
-from .brute import brute_force_neighbor_counts, brute_force_neighbors, pairwise_within
+from .brute import (
+    brute_force_neighbor_counts,
+    brute_force_neighbors,
+    pairwise_within,
+    pairwise_within_blocks,
+)
 from .grid import UniformGrid
 from .knn import knn_brute_force, kth_neighbor_distances, suggest_eps
 from .rt_find import RTNeighborFinder, rt_find_neighbors
@@ -28,6 +33,7 @@ __all__ = [
     "brute_force_neighbor_counts",
     "brute_force_neighbors",
     "pairwise_within",
+    "pairwise_within_blocks",
     "UniformGrid",
     "knn_brute_force",
     "kth_neighbor_distances",

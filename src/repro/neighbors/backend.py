@@ -4,17 +4,26 @@
 actually depends on: build an index over the dataset once, then answer
 
 * ``neighbor_counts()`` — ε-neighbour count per point (stage 1), and
-* ``neighbor_pairs()``  — all confirmed ``(query, neighbour)`` pairs (stage 2),
+* ``neighbor_csr()``    — the confirmed ε-adjacency in canonical CSR form
+  (stage 2; see :mod:`repro.adjacency`),
 
 with the dataset's own points as the default queries and self pairs excluded
-(the paper's ``q != s`` filter).  The RT-core ray query of Algorithm 2
+(the paper's ``q != s`` filter).  Every backend produces the CSR
+**chunk-by-chunk** — a block of queries at a time — so the full ε-pair set is
+never materialised as an intermediate; peak memory is one block's candidate
+working set plus the adjacency itself.  The legacy ``neighbor_pairs()``
+surface survives as a thin expansion of the CSR for callers that still want
+flat pair arrays.
+
+The RT-core ray query of Algorithm 2
 (:class:`~repro.neighbors.rt_find.RTNeighborFinder`) is one implementation;
 this module adds three host-side implementations behind the same protocol —
 a uniform grid, a KD-tree and the exact brute-force oracle — so the same
 clustering pipeline runs on any substrate.  All backends return *identical*
-pair sets, which is what makes `RTDBSCAN(backend=...)` label-equivalent
-across substrates; they differ only in the operations they charge to the
-device cost model (CPU backends charge shader-core work).
+adjacencies (byte-identical CSR arrays, since the form is canonical), which
+is what makes ``RTDBSCAN(backend=...)`` label-equivalent across substrates;
+they differ only in the operations they charge to the device cost model
+(CPU backends charge shader-core work).
 """
 
 from __future__ import annotations
@@ -25,12 +34,13 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from ..adjacency import csr_row_ids, expand_ranges
 from ..api.registry import register_backend
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import OpCounts
 from ..rtcore.counters import LaunchStats
 from ..rtcore.device import RTDevice
-from .brute import pairwise_within
+from .brute import pairwise_within_blocks
 from .grid import UniformGrid
 
 __all__ = [
@@ -59,6 +69,10 @@ class NeighborBackend(Protocol):
         self, queries: np.ndarray | None = None, *, min_count: int | None = None
     ) -> tuple[np.ndarray, LaunchStats]: ...
 
+    def neighbor_csr(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]: ...
+
     def neighbor_pairs(
         self, queries: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, LaunchStats]: ...
@@ -75,7 +89,9 @@ class _HostNeighborBackend:
 
     Subclasses implement ``_build()`` (index construction, sets
     ``build_seconds`` and optionally a device-memory allocation) and
-    ``neighbor_pairs``; counts are derived from pairs by default.
+    ``_scan()`` — the blocked query sweep that yields per-row hit counts,
+    optionally the CSR index fragments, and the charged candidate /
+    node-visit totals.  Counts, CSR and pair queries all derive from it.
     """
 
     points: np.ndarray
@@ -87,7 +103,7 @@ class _HostNeighborBackend:
     def __post_init__(self) -> None:
         if self.radius <= 0 or not np.isfinite(self.radius):
             raise ValueError("radius (eps) must be positive")
-        self.points = lift_to_3d(validate_points(self.points))
+        self.points = ensure_points3d(self.points)
         self.device = self.device or RTDevice()
         self._mem_label: str | None = None
         self._build()
@@ -120,6 +136,22 @@ class _HostNeighborBackend:
             counts=counts,
         )
 
+    def _resolve_queries(self, queries: np.ndarray | None) -> tuple[np.ndarray, bool]:
+        """Query points plus the self-filter flag (dataset queries drop q == p)."""
+        if queries is None:
+            return self.points, True
+        return ensure_points3d(queries, name="queries"), False
+
+    def _scan(
+        self, qpts: np.ndarray, self_query: bool, collect: bool
+    ) -> tuple[np.ndarray, list[np.ndarray] | None, int, int]:
+        """Blocked sweep: ``(row_counts, csr_parts, candidates, node_visits)``.
+
+        ``csr_parts`` (only when ``collect``) are canonical per-block CSR
+        index fragments: rows in query order, indices ascending.
+        """
+        raise NotImplementedError  # pragma: no cover - overridden
+
     # ------------------------------------------------------------------ #
     def neighbor_counts(
         self, queries: np.ndarray | None = None, *, min_count: int | None = None
@@ -127,20 +159,43 @@ class _HostNeighborBackend:
         """ε-neighbour count per query (self excluded for dataset queries).
 
         ``min_count`` is an early-exit hint the host backends cannot exploit;
-        it is accepted for protocol compatibility and ignored.
+        it is accepted for protocol compatibility and ignored.  No neighbour
+        ids are stored — this is a pure counting sweep.
         """
         del min_count
-        num_queries = self.num_points
-        if queries is not None:
-            num_queries = lift_to_3d(validate_points(queries)).shape[0]
-        q, _, stats = self.neighbor_pairs(queries)
-        counts = np.bincount(q, minlength=num_queries).astype(np.int64)
-        return counts, stats
+        qpts, self_query = self._resolve_queries(queries)
+        row_counts, _, candidates, node_visits = self._scan(qpts, self_query, collect=False)
+        stats = self._charge(
+            num_rays=qpts.shape[0], candidates=candidates,
+            node_visits=node_visits, confirmed=int(row_counts.sum()),
+        )
+        return row_counts, stats
+
+    def neighbor_csr(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """Confirmed ε-adjacency in canonical CSR form, built block-by-block."""
+        qpts, self_query = self._resolve_queries(queries)
+        row_counts, parts, candidates, node_visits = self._scan(qpts, self_query, collect=True)
+        indptr = np.zeros(qpts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+        stats = self._charge(
+            num_rays=qpts.shape[0], candidates=candidates,
+            node_visits=node_visits, confirmed=int(indices.size),
+        )
+        return indptr, indices, stats
 
     def neighbor_pairs(
         self, queries: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:  # pragma: no cover - overridden
-        raise NotImplementedError
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """Legacy pair-array surface: the CSR expanded to flat ``(q, p)``.
+
+        Materialises the redundant query column; pipelines should consume
+        :meth:`neighbor_csr` directly.
+        """
+        indptr, indices, stats = self.neighbor_csr(queries)
+        return csr_row_ids(indptr), indices, stats
 
     def release(self) -> None:
         """Free the simulated device-side index."""
@@ -155,27 +210,30 @@ class _HostNeighborBackend:
 )
 @dataclass
 class BruteNeighborBackend(_HostNeighborBackend):
-    """The exact oracle: chunked all-pairs distances, no index at all."""
+    """The exact oracle: blocked all-pairs distances, no index at all.
 
-    chunk_size: int = 2048
+    Memory stays O(``chunk_size`` · n): each block's distances run through
+    the BLAS prescreen + exact confirm of
+    :func:`~repro.neighbors.brute.pairwise_within_blocks`.
+    """
 
-    def neighbor_pairs(
-        self, queries: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
-        if queries is None:
-            qpts, self_query = self.points, True
-        else:
-            qpts, self_query = lift_to_3d(validate_points(queries)), False
-        q, p = pairwise_within(qpts, self.points, self.radius, chunk_size=self.chunk_size)
-        if self_query:
-            keep = q != p
-            q, p = q[keep], p[keep]
-        stats = self._charge(
-            num_rays=qpts.shape[0],
-            candidates=qpts.shape[0] * self.num_points,
-            confirmed=q.size,
-        )
-        return q, p, stats
+    chunk_size: int = 512
+
+    def _scan(self, qpts, self_query, collect):
+        nq = qpts.shape[0]
+        row_counts = np.zeros(nq, dtype=np.int64)
+        parts: list[np.ndarray] | None = [] if collect else None
+        for lo, qi, di in pairwise_within_blocks(
+            qpts, self.points, self.radius, block_size=self.chunk_size
+        ):
+            if self_query:
+                keep = qi != di
+                qi, di = qi[keep], di[keep]
+            hi = min(nq, lo + self.chunk_size)
+            row_counts[lo:hi] = np.bincount(qi - lo, minlength=hi - lo)
+            if parts is not None:
+                parts.append(di)
+        return row_counts, parts, nq * self.num_points, 0
 
 
 @register_backend(
@@ -184,7 +242,14 @@ class BruteNeighborBackend(_HostNeighborBackend):
 )
 @dataclass
 class GridNeighborBackend(_HostNeighborBackend):
-    """ε-cell grid: candidates come from the 3^d cells around each query."""
+    """ε-cell grid: candidates come from the 3^d cells around each query.
+
+    The stencil gather is fully vectorised over query blocks via the grid's
+    flat CSR cell table (:meth:`~repro.neighbors.grid.UniformGrid.stencil_ranges`);
+    there is no per-cell Python loop.
+    """
+
+    block_size: int = 4096
 
     def _build(self) -> None:
         self.grid = UniformGrid(self.points, self.radius)
@@ -192,55 +257,30 @@ class GridNeighborBackend(_HostNeighborBackend):
         self._mem_label = f"grid_backend_{id(self)}"
         self.device.memory.allocate(self._mem_label, self.grid.memory_bytes())
 
-    def neighbor_pairs(
-        self, queries: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+    def _scan(self, qpts, self_query, collect):
         r2 = self.radius * self.radius
-        out_q: list[np.ndarray] = []
-        out_p: list[np.ndarray] = []
+        nq = qpts.shape[0]
+        row_counts = np.zeros(nq, dtype=np.int64)
+        parts: list[np.ndarray] | None = [] if collect else None
         candidates = 0
-        if queries is None:
-            # Batch per occupied cell: every point in a cell shares the same
-            # 3^d candidate neighbourhood.
-            for cell_id in self.grid.cell_start:
-                qi = self.grid.points_in_cell(cell_id)
-                cand = self.grid.candidate_neighbors(self.points[qi[0]])
-                candidates += qi.size * cand.size
-                if cand.size == 0:
-                    continue
-                d = self.points[qi][:, None, :] - self.points[cand][None, :, :]
-                hit = np.einsum("ijk,ijk->ij", d, d) <= r2
-                a, b = np.nonzero(hit)
-                qq, pp = qi[a], cand[b]
-                keep = qq != pp
-                out_q.append(qq[keep])
-                out_p.append(pp[keep])
-            num_rays = self.num_points
-        else:
-            # Batch external queries by grid cell, mirroring the self-query
-            # path: all queries in one cell share the same 3^d candidate
-            # neighbourhood.  The tiled partition layer leans on this — it
-            # launches every owned point as an external query.
-            qpts = lift_to_3d(validate_points(queries))
-            qcell = self.grid.cell_id_of(qpts)
-            order = np.argsort(qcell, kind="stable")
-            sorted_cells = qcell[order]
-            boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
-            for group in np.split(order, boundaries):
-                cand = self.grid.candidate_neighbors(qpts[group[0]])
-                candidates += group.size * cand.size
-                if cand.size == 0:
-                    continue
-                d = qpts[group][:, None, :] - self.points[cand][None, :, :]
-                hit = np.einsum("ijk,ijk->ij", d, d) <= r2
-                a, b = np.nonzero(hit)
-                out_q.append(group[a])
-                out_p.append(cand[b])
-            num_rays = qpts.shape[0]
-        q = np.concatenate(out_q) if out_q else np.empty(0, dtype=np.intp)
-        p = np.concatenate(out_p) if out_p else np.empty(0, dtype=np.intp)
-        stats = self._charge(num_rays=num_rays, candidates=candidates, confirmed=q.size)
-        return q.astype(np.intp), p.astype(np.intp), stats
+        for lo in range(0, nq, self.block_size):
+            hi = min(nq, lo + self.block_size)
+            starts, cnts = self.grid.stencil_ranges(qpts[lo:hi])
+            per_q = cnts.sum(axis=1)
+            candidates += int(per_q.sum())
+            cand = self.grid.order[expand_ranges(starts.ravel(), cnts.ravel())]
+            rep_q = np.repeat(np.arange(lo, hi, dtype=np.intp), per_q)
+            d = qpts[rep_q] - self.points[cand]
+            hit = np.einsum("ij,ij->i", d, d) <= r2
+            if self_query:
+                hit &= rep_q != cand
+            hq, hc = rep_q[hit], cand[hit]
+            order = np.lexsort((hc, hq))
+            hq, hc = hq[order], hc[order]
+            row_counts[lo:hi] = np.bincount(hq - lo, minlength=hi - lo)
+            if parts is not None:
+                parts.append(hc)
+        return row_counts, parts, candidates, 0
 
 
 @register_backend(
@@ -249,9 +289,15 @@ class GridNeighborBackend(_HostNeighborBackend):
 )
 @dataclass
 class KDTreeNeighborBackend(_HostNeighborBackend):
-    """KD-tree search — the CPU fast path for interactive use and refits."""
+    """KD-tree search — the CPU fast path for interactive use and refits.
+
+    Stage-1 counts use ``query_ball_point(..., return_length=True)`` — no
+    neighbour lists are ever built; the CSR sweep converts the tree's
+    per-block result lists immediately and releases them.
+    """
 
     leafsize: int = 16
+    block_size: int = 8192
 
     def _build(self) -> None:
         from scipy.spatial import cKDTree
@@ -262,30 +308,40 @@ class KDTreeNeighborBackend(_HostNeighborBackend):
         # Tree nodes + a copy of the coordinates, roughly 2x the point bytes.
         self.device.memory.allocate(self._mem_label, 2 * self.points.nbytes)
 
-    def neighbor_pairs(
-        self, queries: np.ndarray | None = None
-    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
-        if queries is None:
-            qpts, self_query = self.points, True
-        else:
-            qpts, self_query = lift_to_3d(validate_points(queries)), False
-        lists = self.tree.query_ball_point(qpts, r=self.radius)
-        lens = np.asarray([len(lst) for lst in lists], dtype=np.intp)
-        q = np.repeat(np.arange(qpts.shape[0], dtype=np.intp), lens)
-        p = (
-            np.concatenate([np.asarray(lst, dtype=np.intp) for lst in lists if lst])
-            if lens.sum()
-            else np.empty(0, dtype=np.intp)
-        )
-        candidates = int(lens.sum())
-        if self_query:
-            keep = q != p
-            q, p = q[keep], p[keep]
+    def _node_visits(self, nq: int) -> int:
         depth = max(1, math.ceil(math.log2(max(self.num_points, 2))))
-        stats = self._charge(
-            num_rays=qpts.shape[0],
-            candidates=candidates,
-            node_visits=qpts.shape[0] * depth,
-            confirmed=q.size,
-        )
-        return q, p, stats
+        return nq * depth
+
+    def _scan(self, qpts, self_query, collect):
+        nq = qpts.shape[0]
+        if not collect:
+            lens = self.tree.query_ball_point(
+                qpts, r=self.radius, return_length=True
+            ).astype(np.int64)
+            candidates = int(lens.sum())
+            row_counts = lens - 1 if self_query else lens
+            return row_counts, None, candidates, self._node_visits(nq)
+
+        row_counts = np.zeros(nq, dtype=np.int64)
+        parts: list[np.ndarray] = []
+        candidates = 0
+        for lo in range(0, nq, self.block_size):
+            hi = min(nq, lo + self.block_size)
+            lists = self.tree.query_ball_point(
+                qpts[lo:hi], r=self.radius, return_sorted=True
+            )
+            lens = np.asarray([len(lst) for lst in lists], dtype=np.int64)
+            candidates += int(lens.sum())
+            di = (
+                np.concatenate([np.asarray(lst, dtype=np.intp) for lst in lists if lst])
+                if lens.sum()
+                else np.empty(0, dtype=np.intp)
+            )
+            if self_query:
+                rep_q = np.repeat(np.arange(lo, hi, dtype=np.intp), lens)
+                di = di[di != rep_q]
+                row_counts[lo:hi] = lens - 1
+            else:
+                row_counts[lo:hi] = lens
+            parts.append(di)
+        return row_counts, parts, candidates, self._node_visits(nq)

@@ -3,8 +3,15 @@
 CUDA-DClust+ (and the DenseBox family the paper cites) index the dataset with
 a Cartesian grid whose cell width equals ε: a point's ε-neighbourhood can
 only contain points from its own cell and the immediately adjacent cells.
-This module provides that index for the CUDA-DClust+ baseline plus a
-standalone query interface used in tests and examples.
+
+The index is stored as a **flat CSR cell table** — exactly how the GPU
+implementations lay it out: point ids sorted by flattened cell id
+(``order``), the sorted array of occupied cell ids (``cell_table``) and an
+offset array (``cell_indptr``) delimiting each occupied cell's slice of
+``order``.  Cell lookups are binary searches (``np.searchsorted``) and the
+3^d-stencil candidate gather is fully vectorised over whole query batches —
+there is no per-cell Python dictionary or ``itertools.product`` loop
+anywhere on the query path.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass, field
 from itertools import product
 
 import numpy as np
+
+from ..adjacency import expand_ranges
 
 __all__ = ["UniformGrid"]
 
@@ -27,6 +36,17 @@ class UniformGrid:
         ``(n, d)`` points with d in {2, 3}.
     cell_size:
         Edge length of each grid cell; for DBSCAN indexes this is ε.
+
+    Attributes
+    ----------
+    order:
+        Point ids sorted by flattened cell id; each occupied cell owns a
+        contiguous slice.
+    cell_table:
+        Sorted flattened ids of the occupied cells.
+    cell_indptr:
+        ``(num_occupied + 1,)`` offsets into ``order`` delimiting each
+        occupied cell's slice.
     """
 
     points: np.ndarray
@@ -35,7 +55,8 @@ class UniformGrid:
     dims: np.ndarray = field(init=False)
     cell_ids: np.ndarray = field(init=False)
     order: np.ndarray = field(init=False)
-    cell_start: dict = field(init=False)
+    cell_table: np.ndarray = field(init=False)
+    cell_indptr: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         self.points = np.atleast_2d(np.asarray(self.points, dtype=np.float64))
@@ -50,10 +71,12 @@ class UniformGrid:
         self.cell_ids = self._flatten(coords)
         self.order = np.argsort(self.cell_ids, kind="stable")
         sorted_ids = self.cell_ids[self.order]
-        unique_ids, starts, counts = np.unique(sorted_ids, return_index=True, return_counts=True)
-        self.cell_start = {
-            int(cid): (int(s), int(c)) for cid, s, c in zip(unique_ids, starts, counts)
-        }
+        self.cell_table, counts = np.unique(sorted_ids, return_counts=True)
+        self.cell_indptr = np.zeros(self.cell_table.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.cell_indptr[1:])
+        # The 3^d stencil offsets, flattened once for the vectorised gather.
+        d = self.points.shape[1]
+        self._stencil = np.array(list(product((-1, 0, 1), repeat=d)), dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     def _cell_coords(self, pts: np.ndarray) -> np.ndarray:
@@ -71,15 +94,14 @@ class UniformGrid:
 
     @property
     def num_occupied_cells(self) -> int:
-        return len(self.cell_start)
+        return int(self.cell_table.size)
 
     def points_in_cell(self, cell_id: int) -> np.ndarray:
         """Indices of the points stored in one flattened cell id."""
-        entry = self.cell_start.get(int(cell_id))
-        if entry is None:
+        pos = int(np.searchsorted(self.cell_table, int(cell_id)))
+        if pos >= self.cell_table.size or self.cell_table[pos] != int(cell_id):
             return np.empty(0, dtype=np.intp)
-        start, count = entry
-        return self.order[start : start + count]
+        return self.order[self.cell_indptr[pos] : self.cell_indptr[pos + 1]]
 
     def cell_id_of(self, pts: np.ndarray) -> np.ndarray:
         """Flattened cell id of each point, vectorised.
@@ -92,19 +114,36 @@ class UniformGrid:
         pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
         return self._flatten(self._cell_coords(pts))
 
+    # ------------------------------------------------------------------ #
+    def stencil_ranges(self, pts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate slices of ``order`` for every query's 3^d stencil.
+
+        For a batch of ``m`` query points returns ``(starts, counts)``, both
+        of shape ``(m, 3^d)``: entry ``[i, s]`` delimits the slice of
+        ``order`` holding the points of the ``s``-th stencil cell around
+        query ``i`` (count 0 for out-of-grid or unoccupied cells).  One
+        vectorised binary search per batch — no per-cell Python.
+        """
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        coords = self._cell_coords(pts)
+        ncoord = coords[:, None, :] + self._stencil[None, :, :]
+        valid = ((ncoord >= 0) & (ncoord < self.dims)).all(axis=2)
+        flat = ncoord.reshape(-1, pts.shape[1])
+        # Clip before flattening so invalid coords still index safely; their
+        # counts are zeroed by the validity mask below.
+        nid = self._flatten(np.clip(flat, 0, self.dims - 1))
+        pos = np.searchsorted(self.cell_table, nid)
+        pos[pos == self.cell_table.size] = 0  # safe index; masked as unoccupied below
+        hit = (self.cell_table[pos] == nid) & valid.reshape(-1)
+        starts = np.where(hit, self.cell_indptr[pos], 0)
+        counts = np.where(hit, self.cell_indptr[pos + 1] - self.cell_indptr[pos], 0)
+        shape = (pts.shape[0], self._stencil.shape[0])
+        return starts.reshape(shape), counts.reshape(shape)
+
     def candidate_neighbors(self, query: np.ndarray) -> np.ndarray:
         """Point indices in the 3^d cells surrounding ``query`` (unfiltered)."""
-        query = np.asarray(query, dtype=np.float64).reshape(1, -1)
-        coord = self._cell_coords(query)[0]
-        d = self.points.shape[1]
-        out = []
-        for offset in product((-1, 0, 1), repeat=d):
-            c = coord + np.asarray(offset)
-            if np.any(c < 0) or np.any(c >= self.dims):
-                continue
-            cid = self._flatten(c.reshape(1, -1))[0]
-            out.append(self.points_in_cell(int(cid)))
-        return np.concatenate(out) if out else np.empty(0, dtype=np.intp)
+        starts, counts = self.stencil_ranges(np.asarray(query, dtype=np.float64).reshape(1, -1))
+        return self.order[expand_ranges(starts.ravel(), counts.ravel())]
 
     def query_radius(self, query: np.ndarray, radius: float | None = None,
                      *, exclude_index: int | None = None) -> np.ndarray:
@@ -130,7 +169,7 @@ class UniformGrid:
 
     def candidate_stats(self) -> dict:
         """Occupancy summary used by the CUDA-DClust+ cost accounting."""
-        counts = np.array([c for _, c in self.cell_start.values()], dtype=np.int64)
+        counts = np.diff(self.cell_indptr)
         return {
             "occupied_cells": int(counts.size),
             "max_per_cell": int(counts.max()) if counts.size else 0,
@@ -139,4 +178,7 @@ class UniformGrid:
 
     def memory_bytes(self) -> int:
         """Approximate device footprint of the grid index."""
-        return int(self.order.nbytes + self.cell_ids.nbytes + len(self.cell_start) * 16)
+        return int(
+            self.order.nbytes + self.cell_ids.nbytes
+            + self.cell_table.nbytes + self.cell_indptr.nbytes
+        )

@@ -8,7 +8,8 @@ scene setup (OWL context, geometry, acceleration-structure build) and exposes
 the two query flavours DBSCAN needs:
 
 * ``neighbor_counts``  — count ε-neighbours per point (stage 1 of Algorithm 3);
-* ``neighbor_pairs``   — all confirmed (point, neighbour) pairs (stage 2).
+* ``neighbor_csr``     — the confirmed ε-adjacency in canonical CSR form
+  (stage 2), produced chunk-by-chunk so the pair set is never materialised.
 """
 
 from __future__ import annotations
@@ -17,8 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..adjacency import csr_row_ids
 from ..api.registry import register_backend
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..rtcore.counters import LaunchStats
 from ..rtcore.device import RTDevice
 from ..rtcore.owl import OWLContext, OWLGroup, owl_context_create
@@ -65,10 +67,12 @@ class RTNeighborFinder:
     build_seconds: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        pts = validate_points(self.points)
         if self.radius <= 0:
             raise ValueError("radius (eps) must be positive")
-        self.points = lift_to_3d(pts)
+        # One validated float64 lift; the scene geometry, the intersection
+        # programs and any later refit all share this single array instead of
+        # re-validating (and re-copying) per step.
+        self.points = ensure_points3d(self.points)
         self.device = self.device or RTDevice()
         self.context = owl_context_create(self.device)
         if self.triangle_mode:
@@ -126,32 +130,42 @@ class RTNeighborFinder:
         """
         if queries is None:
             return self.group.launch_counts(self.points, min_count=min_count)
-        pts = lift_to_3d(validate_points(queries))
+        pts = ensure_points3d(queries, name="queries")
         return self.group.launch_counts(
             pts, programs=self._external_programs(pts), min_count=min_count
         )
 
+    def neighbor_csr(
+        self, queries: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """Confirmed ε-adjacency in canonical CSR form (see :mod:`repro.adjacency`).
+
+        The zero-materialisation stage-2 query: hits are confirmed inside the
+        chunked traversal and come back as ``(indptr, indices)`` — the full
+        candidate pair set never exists in memory.  Self pairs are excluded
+        when querying the dataset against itself.
+        """
+        if queries is None:
+            return self.group.launch_csr(self.points)
+        pts = ensure_points3d(queries, name="queries")
+        return self.group.launch_csr(pts, programs=self._external_programs(pts))
+
     def neighbor_pairs(
         self, queries: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
-        """All confirmed ``(query, neighbour)`` pairs within ε.
+        """All confirmed ``(query, neighbour)`` pairs within ε (legacy surface).
 
         Self pairs are excluded when querying the dataset against itself.
+        Materialises the redundant query column; pipelines should consume
+        :meth:`neighbor_csr` directly.
         """
-        if queries is None:
-            return self.group.launch_hits(self.points)
-        pts = lift_to_3d(validate_points(queries))
-        return self.group.launch_hits(pts, programs=self._external_programs(pts))
+        indptr, indices, stats = self.neighbor_csr(queries)
+        return csr_row_ids(indptr), indices, stats
 
     def neighbor_lists(self, queries: np.ndarray | None = None) -> list[np.ndarray]:
         """Per-query neighbour index lists (convenience wrapper for examples)."""
-        num_queries = self.num_points if queries is None else np.atleast_2d(queries).shape[0]
-        qi, pi, _ = self.neighbor_pairs(queries)
-        order = np.lexsort((pi, qi))
-        qi, pi = qi[order], pi[order]
-        counts = np.bincount(qi, minlength=num_queries)
-        splits = np.cumsum(counts)[:-1]
-        return list(np.split(pi, splits))
+        indptr, indices, _ = self.neighbor_csr(queries)
+        return list(np.split(indices, indptr[1:-1]))
 
     def release(self) -> None:
         """Free the device-side scene."""
@@ -168,11 +182,7 @@ def rt_find_neighbors(
     """
     finder = RTNeighborFinder(points, radius, **kwargs)
     try:
-        qi, pi, stats = finder.neighbor_pairs()
-        order = np.lexsort((pi, qi))
-        qi, pi = qi[order], pi[order]
-        counts = np.bincount(qi, minlength=finder.num_points)
-        splits = np.cumsum(counts)[:-1]
-        return list(np.split(pi, splits)), stats
+        indptr, indices, stats = finder.neighbor_csr()
+        return list(np.split(indices, indptr[1:-1])), stats
     finally:
         finder.release()

@@ -28,7 +28,9 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any, TypeVar
 
-__all__ = ["ParallelMap", "as_parallel_map"]
+import numpy as np
+
+__all__ = ["ParallelMap", "as_parallel_map", "SharedNDArray", "SharedArrayPool", "as_ndarray"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -109,6 +111,133 @@ class ParallelMap:
 
     def __repr__(self) -> str:
         return f"ParallelMap(workers={self.workers}, mode={self.mode!r})"
+
+
+class SharedNDArray:
+    """A picklable handle to an ndarray stored in POSIX shared memory.
+
+    Pickling a :class:`SharedNDArray` serialises only the segment name,
+    dtype, shape and byte offset — a few dozen bytes — instead of the array
+    payload, so process pools receive big inputs (tile point sets) without
+    copying them through the pickle pipe.  Workers attach lazily on first
+    :meth:`asarray` call; the returned view is marked read-only because the
+    memory is shared between processes.
+
+    Instances are created by :class:`SharedArrayPool`, which owns the backing
+    segment and unlinks it when the fan-out completes.
+    """
+
+    def __init__(self, shm_name: str, dtype: str, shape: tuple, offset: int) -> None:
+        self.shm_name = shm_name
+        self.dtype = dtype
+        self.shape = tuple(shape)
+        self.offset = int(offset)
+        self._shm = None
+        self._view: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        return {
+            "shm_name": self.shm_name, "dtype": self.dtype,
+            "shape": self.shape, "offset": self.offset,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._shm = None
+        self._view = None
+
+    def asarray(self) -> np.ndarray:
+        """Attach (once) and return the read-only ndarray view."""
+        if self._view is None:
+            import multiprocessing as mp
+            from multiprocessing import shared_memory
+
+            # The creator owns the segment's lifetime, so this attach must
+            # not enrol it with a resource tracker that would try to clean
+            # it up.  Python 3.13+ supports that directly; older versions
+            # need care per start method: under *fork* the worker shares the
+            # creator's tracker (whose registry is a set, so the attach is
+            # deduplicated and nothing must be unregistered — doing so would
+            # strip the creator's own entry); under *spawn* the worker has
+            # its own tracker and the attach must be unregistered there.
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    name=self.shm_name, create=False, track=False
+                )
+            except TypeError:  # pragma: no cover - Python < 3.13
+                self._shm = shared_memory.SharedMemory(name=self.shm_name, create=False)
+                if (
+                    mp.parent_process() is not None
+                    and mp.get_start_method(allow_none=True) != "fork"
+                ):
+                    try:
+                        from multiprocessing import resource_tracker
+
+                        resource_tracker.unregister(self._shm._name, "shared_memory")
+                    except Exception:
+                        pass
+            view = np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype),
+                buffer=self._shm.buf, offset=self.offset,
+            )
+            view.flags.writeable = False
+            self._view = view
+        return self._view
+
+
+class SharedArrayPool:
+    """One shared-memory segment holding many arrays, for process fan-outs.
+
+    ``share()`` copies an array into the segment once and returns the
+    zero-pickle-cost :class:`SharedNDArray` handle; ``close()`` unlinks the
+    segment after the parallel map has consumed the results.  Use as a
+    context manager around the fan-out.
+    """
+
+    def __init__(self, total_bytes: int) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, int(total_bytes)))
+        self._cursor = 0
+
+    @classmethod
+    def for_arrays(cls, arrays: Iterable[np.ndarray]) -> "SharedArrayPool":
+        """A pool sized (with alignment slack) for the given arrays."""
+        total = sum(int(a.nbytes) + 64 for a in arrays)
+        return cls(total)
+
+    def share(self, array: np.ndarray) -> SharedNDArray:
+        """Copy ``array`` into the segment; returns the picklable handle."""
+        array = np.ascontiguousarray(array)
+        offset = (self._cursor + 63) & ~63  # 64-byte alignment
+        end = offset + array.nbytes
+        if end > self._shm.size:
+            raise ValueError("SharedArrayPool capacity exceeded")
+        dest = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf, offset=offset)
+        dest[...] = array
+        self._cursor = end
+        return SharedNDArray(self._shm.name, array.dtype.str, array.shape, offset)
+
+    def close(self) -> None:
+        """Release and unlink the backing segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def as_ndarray(value: np.ndarray | SharedNDArray) -> np.ndarray:
+    """Unwrap a :class:`SharedNDArray` handle; plain arrays pass through."""
+    if isinstance(value, SharedNDArray):
+        return value.asarray()
+    return value
 
 
 def as_parallel_map(value: ParallelMap | int | None, *, mode: str | None = None) -> ParallelMap:

@@ -5,23 +5,26 @@ Each tile of a :class:`~repro.partition.tiled.TiledRTDBSCAN` run produces
 * exact ε-neighbour counts (and hence exact core flags) for its *owned*
   points — exact because the tile's halo contains every point within ε of an
   owned point, and
-* the complete set of confirmed ``(query, neighbour)`` pairs whose query is
-  an owned point, mapped back to global indices.
+* the complete confirmed ε-adjacency of its owned points as a **shard CSR**
+  (``indptr``/``indices``): row ``i`` holds the neighbours of ``owned[i]``,
+  mapped back to global indices.
 
-Because ownership is a partition, concatenating the per-tile pair lists
-reconstructs **exactly** the global pair set an untiled run discovers: a
-global pair ``(q, p)`` appears once, contributed by the unique tile that owns
-``q`` (its partner ``p`` is locally visible there, owned or halo).  Likewise
-the per-tile core flags assemble the exact global core mask.  The merge then
-feeds both through the same :func:`repro.dbscan.formation.form_clusters`
-stage-2 pass every backend uses: core–core edges — including the cross-halo
-boundary edges — are unioned in one batched
-:class:`~repro.dbscan.disjoint_set.ParallelDisjointSet` pass, border points
-attach to their lowest-indexed core neighbour, and labels are canonicalised
-to the smallest-member numbering.
+Because ownership is a partition, the shard CSRs concatenate into a
+*segmented* CSR over the whole dataset that reconstructs **exactly** the
+global adjacency an untiled run discovers: a global pair ``(q, p)`` appears
+once, in the row contributed by the unique tile that owns ``q`` (its partner
+``p`` is locally visible there, owned or halo).  Likewise the per-tile core
+flags assemble the exact global core mask.  The merge hands the segmented
+CSR — rows annotated with their global ids, no per-pair expansion, no
+reshuffling — straight to the same
+:func:`repro.dbscan.formation.form_clusters_csr` stage-2 pass every backend
+uses: core–core edges — including the cross-halo boundary edges — are
+unioned in one batched :class:`~repro.dbscan.disjoint_set.ParallelDisjointSet`
+pass, border points attach to their lowest-indexed core neighbour, and
+labels are canonicalised to the smallest-member numbering.
 
-**Equivalence argument.**  ``form_clusters`` is a deterministic function of
-the pair *multiset* and the core mask: the batched min-hooking union is
+**Equivalence argument.**  ``form_clusters_csr`` is a deterministic function
+of the pair *multiset* and the core mask: the batched min-hooking union is
 order-independent (each iteration hooks every still-spanning edge's larger
 root onto the smaller simultaneously), border attachment sorts candidates
 before deduplicating, and the final numbering depends only on cluster
@@ -37,7 +40,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dbscan.formation import form_clusters
+from ..adjacency import concat_csr
+from ..dbscan.formation import form_clusters_csr
 
 __all__ = ["MergeResult", "merge_tiles"]
 
@@ -61,7 +65,7 @@ class MergeResult:
 
 
 def merge_tiles(num_points: int, tile_results) -> MergeResult:
-    """Stitch per-tile shard results into the exact global labelling.
+    """Stitch per-tile shard CSRs into the exact global labelling.
 
     Parameters
     ----------
@@ -70,24 +74,25 @@ def merge_tiles(num_points: int, tile_results) -> MergeResult:
     tile_results:
         Iterables with the per-tile fields produced by the tile worker:
         ``owned`` (global indices), ``neighbor_counts`` / ``core_mask``
-        (aligned with ``owned``), ``q`` / ``p`` (global pair endpoints) and
-        ``num_boundary_pairs``.
+        (aligned with ``owned``), ``indptr`` / ``indices`` (the shard CSR
+        with global neighbour ids) and ``num_boundary_pairs``.
     """
     core_mask = np.zeros(num_points, dtype=bool)
     neighbor_counts = np.zeros(num_points, dtype=np.int64)
-    qs: list[np.ndarray] = []
-    ps: list[np.ndarray] = []
+    rows_parts: list[np.ndarray] = []
+    csr_parts: list[tuple[np.ndarray, np.ndarray]] = []
     boundary = 0
     for res in tile_results:
         core_mask[res.owned] = res.core_mask
         neighbor_counts[res.owned] = res.neighbor_counts
-        qs.append(res.q)
-        ps.append(res.p)
+        rows_parts.append(np.asarray(res.owned, dtype=np.intp))
+        csr_parts.append((res.indptr, res.indices))
         boundary += int(res.num_boundary_pairs)
-    q = np.concatenate(qs) if qs else np.empty(0, dtype=np.intp)
-    p = np.concatenate(ps) if ps else np.empty(0, dtype=np.intp)
 
-    formation = form_clusters(q, p, core_mask)
+    indptr, indices = concat_csr(csr_parts)
+    rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, dtype=np.intp)
+
+    formation = form_clusters_csr(indptr, indices, core_mask, rows=rows)
     return MergeResult(
         labels=formation.labels,
         core_mask=core_mask,

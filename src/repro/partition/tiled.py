@@ -34,14 +34,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..adjacency import csr_row_ids
 from ..api.protocol import ClustererMixin
 from ..api.registry import make_backend, register_algorithm
 from ..dbscan.params import DBSCANParams, DBSCANResult
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import DeviceCostModel, OpCounts
 from ..perf.timing import PhaseTimer
 from ..rtcore.device import RTDevice
-from .executor import ParallelMap, as_parallel_map
+from .executor import ParallelMap, SharedArrayPool, as_ndarray, as_parallel_map
 from .merge import merge_tiles
 from .tiler import Tiler
 
@@ -50,10 +51,17 @@ __all__ = ["TiledRTDBSCAN", "TileJob", "TileRunResult", "run_tile", "tiled_rt_db
 
 @dataclass
 class TileJob:
-    """Everything one tile fit needs — plain data, picklable for processes."""
+    """Everything one tile fit needs — plain data, picklable for processes.
+
+    For process executors the two array payloads are shipped as
+    :class:`~repro.partition.executor.SharedNDArray` handles backed by one
+    shared-memory segment, so pickling a job serialises only segment
+    metadata — no point bytes ever cross the pickle pipe.
+    """
 
     tile_id: int
-    #: local working set, owned points first (``(m, 3)`` lifted coordinates).
+    #: local working set, owned points first (``(m, 3)`` lifted coordinates);
+    #: an ndarray, or a SharedNDArray handle under a process executor.
     points: np.ndarray
     #: number of leading rows of ``points`` that are owned.
     num_owned: int
@@ -80,9 +88,10 @@ class TileRunResult:
     neighbor_counts: np.ndarray
     #: exact core flags of the owned points.
     core_mask: np.ndarray
-    #: confirmed pairs, global indices, query owned by this tile.
-    q: np.ndarray
-    p: np.ndarray
+    #: confirmed ε-adjacency of the owned points as a shard CSR: row ``i``
+    #: holds the neighbours of ``owned[i]`` in *global* indices.
+    indptr: np.ndarray
+    indices: np.ndarray
     #: pairs whose neighbour lives in the halo (owned by another tile).
     num_boundary_pairs: int
     build_seconds: float
@@ -103,7 +112,7 @@ class TileRunResult:
             "tile_id": self.tile_id,
             "num_owned": self.num_owned,
             "num_halo": self.num_halo,
-            "num_pairs": int(self.q.size),
+            "num_pairs": int(self.indices.size),
             "num_boundary_pairs": self.num_boundary_pairs,
             "build_seconds": self.build_seconds,
             "build_prims": self.build_prims,
@@ -120,48 +129,56 @@ def run_tile(job: TileJob) -> TileRunResult:
     Queries are the tile's owned points, launched as *external* queries
     against the local (owned + halo) index so that no halo point ever spends
     a ray.  External queries carry no self filter, so the self hit (distance
-    zero) is removed here: one count per query, and the ``q == p`` pairs —
-    exactly the paper's ``q != s`` index comparison.
+    zero) is removed here: one count per query, and the self row entries of
+    the shard CSR — exactly the paper's ``q != s`` index comparison.
 
     Module-level on purpose: :class:`~repro.partition.executor.ParallelMap`
     in process mode needs a picklable callable over plain data.
     """
+    points = as_ndarray(job.points)
+    local_to_global = as_ndarray(job.local_to_global)
     device = RTDevice(
         cost_model=job.cost_model,
         has_rt_cores=job.has_rt_cores,
         name=f"sim-shard-{job.tile_id}",
     )
     finder = make_backend(
-        job.backend, job.points, job.eps, device=device, **job.backend_kwargs
+        job.backend, points, job.eps, device=device, **job.backend_kwargs
     )
     try:
-        owned_pts = job.points[: job.num_owned]
+        owned_pts = points[: job.num_owned]
 
         counts_with_self, stats1 = finder.neighbor_counts(owned_pts)
         neighbor_counts = counts_with_self.astype(np.int64) - 1
         core_mask = neighbor_counts >= job.min_pts
 
-        q_loc, p_loc, stats2 = finder.neighbor_pairs(owned_pts)
+        indptr, ind_loc, stats2 = finder.neighbor_csr(owned_pts)
         build_seconds = finder.build_seconds
         build_prims = finder.num_prims
     finally:
         finder.release()
 
-    q_glob = job.local_to_global[q_loc]
-    p_glob = job.local_to_global[p_loc]
-    keep = q_glob != p_glob
-    q_glob, p_glob, p_loc = q_glob[keep], p_glob[keep], p_loc[keep]
-    num_boundary = int((p_loc >= job.num_owned).sum())
+    # Strip the self hit: row i of the shard CSR belongs to local point i
+    # (owned points lead the local ordering), so the self entry is the one
+    # whose index equals its own row id.
+    rows_loc = csr_row_ids(indptr)
+    keep = ind_loc != rows_loc
+    dropped = np.bincount(rows_loc[~keep], minlength=job.num_owned)
+    row_counts = np.diff(indptr) - dropped
+    indptr = np.zeros(job.num_owned + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=indptr[1:])
+    ind_loc = ind_loc[keep]
+    num_boundary = int((ind_loc >= job.num_owned).sum())
 
     return TileRunResult(
         tile_id=job.tile_id,
         num_owned=job.num_owned,
-        num_halo=int(job.points.shape[0] - job.num_owned),
-        owned=job.local_to_global[: job.num_owned],
+        num_halo=int(points.shape[0] - job.num_owned),
+        owned=local_to_global[: job.num_owned],
         neighbor_counts=neighbor_counts,
         core_mask=core_mask,
-        q=q_glob,
-        p=p_glob,
+        indptr=indptr,
+        indices=local_to_global[ind_loc],
         num_boundary_pairs=num_boundary,
         build_seconds=build_seconds,
         build_prims=build_prims,
@@ -251,10 +268,42 @@ class TiledRTDBSCAN(ClustererMixin):
             }
         return {}
 
+    def _make_jobs(
+        self, pts3: np.ndarray, tiles, executor: ParallelMap
+    ) -> tuple[list[TileJob], SharedArrayPool | None]:
+        """Materialise per-tile jobs; under a process executor the array
+        payloads go into one shared-memory segment so that pickling a job
+        ships only segment metadata (no point bytes cross the pickle pipe).
+        The returned pool (if any) must be closed after the fan-out.
+        """
+        payloads = [
+            (pts3[t.indices], np.asarray(t.indices, dtype=np.intp)) for t in tiles
+        ]
+        pool: SharedArrayPool | None = None
+        if executor.mode == "process":
+            pool = SharedArrayPool.for_arrays([a for pair in payloads for a in pair])
+            payloads = [(pool.share(p), pool.share(i)) for p, i in payloads]
+        jobs = [
+            TileJob(
+                tile_id=t.tile_id,
+                points=p_arr,
+                num_owned=t.num_owned,
+                local_to_global=i_arr,
+                eps=self.params.eps,
+                min_pts=self.params.min_pts,
+                backend=self.backend,
+                backend_kwargs=self._backend_kwargs(),
+                cost_model=self.device.cost_model,
+                has_rt_cores=self.device.has_rt_cores,
+            )
+            for t, (p_arr, i_arr) in zip(tiles, payloads)
+        ]
+        return jobs, pool
+
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points``; labels are bit-identical to an untiled run."""
-        pts3 = lift_to_3d(validate_points(points))
+        pts3 = ensure_points3d(points)
         n = pts3.shape[0]
         executor = as_parallel_map(self.workers, mode=self.executor_mode)
         timer = PhaseTimer("rt-dbscan-tiled", self.device.cost_model)
@@ -265,21 +314,7 @@ class TiledRTDBSCAN(ClustererMixin):
         with timer.phase("tile_split", simulated_seconds=0.0):
             tiler = Tiler(self.params.eps, tiles=self._num_tiles(n), grid=self.grid)
             tiles = tiler.split(pts3)
-            jobs = [
-                TileJob(
-                    tile_id=t.tile_id,
-                    points=pts3[t.indices],
-                    num_owned=t.num_owned,
-                    local_to_global=t.indices,
-                    eps=self.params.eps,
-                    min_pts=self.params.min_pts,
-                    backend=self.backend,
-                    backend_kwargs=self._backend_kwargs(),
-                    cost_model=self.device.cost_model,
-                    has_rt_cores=self.device.has_rt_cores,
-                )
-                for t in tiles
-            ]
+            jobs, pool = self._make_jobs(pts3, tiles, executor)
 
         timer.metadata.update(
             {
@@ -298,7 +333,11 @@ class TiledRTDBSCAN(ClustererMixin):
         # -------------------------------------------------------------- #
         # Shard-local clustering: both query stages, per tile, in parallel.
         # -------------------------------------------------------------- #
-        results = executor.map(run_tile, jobs)
+        try:
+            results = executor.map(run_tile, jobs)
+        finally:
+            if pool is not None:
+                pool.close()
 
         build_counts = OpCounts(
             bvh_build_prims=sum(r.build_prims for r in results),

@@ -66,6 +66,18 @@ class OWLGroup:
             raise ValueError("no program group bound to this geometry type")
         return self.pipeline.launch_hit_queries(points, progs)
 
+    def launch_csr(self, points: np.ndarray, programs: ProgramGroup | None = None):
+        """Launch ε-rays from ``points``; confirmed hits come back as CSR.
+
+        The zero-materialisation counterpart of :meth:`launch_hits`: returns
+        ``(indptr, indices, stats)`` with identical charged operation counts
+        but without ever materialising the candidate pair arrays.
+        """
+        progs = programs or self.geom.geom_type.programs
+        if progs is None:
+            raise ValueError("no program group bound to this geometry type")
+        return self.pipeline.launch_csr_queries(points, progs)
+
     def launch_counts(self, points: np.ndarray, programs: ProgramGroup | None = None,
                       *, min_count: int | None = None):
         """Launch ε-rays from ``points`` and return per-ray confirmed-hit counts."""

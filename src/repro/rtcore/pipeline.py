@@ -23,13 +23,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..adjacency import pairs_to_csr
 from ..bvh.lbvh import build_lbvh
 from ..bvh.node import BVH
 from ..bvh.refit import refit as refit_bvh
 from ..bvh.sah import build_sah
-from ..bvh.traversal import point_query_counts_early_exit, point_query_pairs
+from ..bvh.traversal import (
+    point_query_counts_early_exit,
+    point_query_csr,
+    point_query_pairs,
+)
 from ..geometry.sphere import SphereGeometry
-from ..geometry.transforms import lift_to_3d
+from ..geometry.transforms import ensure_points3d
 from ..geometry.triangle import TriangleGeometry
 from ..perf.cost_model import OpCounts
 from .counters import LaunchStats
@@ -145,7 +150,7 @@ class ScenePipeline:
         the paper would record.
         """
         bvh = self._require_accel()
-        pts = lift_to_3d(np.asarray(points, dtype=np.float64))
+        pts = ensure_points3d(np.atleast_2d(np.asarray(points, dtype=np.float64)))
         q_idx, p_idx, traversal = point_query_pairs(bvh, pts, chunk_size=self.chunk_size)
 
         stats = LaunchStats(num_rays=pts.shape[0], traversal=traversal)
@@ -176,6 +181,41 @@ class ScenePipeline:
         self._charge_launch(stats)
         return q_hit, p_hit, stats
 
+    def launch_csr_queries(
+        self, points: np.ndarray, programs: ProgramGroup
+    ) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """Launch one ε-ray per point and return confirmed hits as a CSR adjacency.
+
+        The zero-materialisation stage-2 launch: candidates are confirmed by
+        the Intersection program chunk-by-chunk inside the traversal and the
+        confirmed neighbour lists come back in canonical CSR form
+        (``indptr``, ``indices``) — the full candidate pair set never exists
+        in memory.  The charged operation counts are identical to a
+        :meth:`launch_hit_queries` call over the same points (the traversal,
+        candidate set and confirmed set are the same).
+
+        Geometries that need per-hit AnyHit routing (triangle mode) or
+        miss-program callbacks fall back to the materialising launch and
+        convert, preserving those programs' once-per-launch semantics.
+        """
+        if self.is_triangle_mode or programs.anyhit is not None or programs.miss is not None:
+            q_hit, p_hit, stats = self.launch_hit_queries(points, programs)
+            indptr, indices = pairs_to_csr(
+                q_hit, p_hit, np.atleast_2d(np.asarray(points)).shape[0]
+            )
+            return indptr, indices, stats
+
+        bvh = self._require_accel()
+        pts = ensure_points3d(np.atleast_2d(np.asarray(points, dtype=np.float64)))
+        indptr, indices, traversal = point_query_csr(
+            bvh, pts, programs.intersection, chunk_size=self.chunk_size
+        )
+        stats = LaunchStats(num_rays=pts.shape[0], traversal=traversal)
+        stats.intersection_calls = traversal.candidates
+        stats.confirmed_hits = traversal.confirmed
+        self._charge_launch(stats)
+        return indptr, indices, stats
+
     def launch_count_queries(
         self,
         points: np.ndarray,
@@ -191,7 +231,7 @@ class ScenePipeline:
         FDBSCAN baseline (never by RT-DBSCAN itself, per Section VI-B).
         """
         bvh = self._require_accel()
-        pts = lift_to_3d(np.asarray(points, dtype=np.float64))
+        pts = ensure_points3d(np.atleast_2d(np.asarray(points, dtype=np.float64)))
 
         stats = LaunchStats(num_rays=pts.shape[0])
         anyhit_tally = {"calls": 0}

@@ -31,7 +31,12 @@ Scene maintenance (refit vs rebuild) is delegated to
 :class:`~repro.streaming.scene.StreamingScene` and its
 :class:`~repro.streaming.policy.RefitPolicy`; every launch, refit, build,
 union and atomic is charged to the device cost model, so per-update reports
-carry the same Section V-D style breakdown as the batch path.
+carry the same Section V-D style breakdown as the batch path.  Scene queries
+run through the zero-materialisation CSR launch
+(:meth:`~repro.streaming.scene.StreamingScene.query_csr`): candidates are
+confirmed chunk-by-chunk inside the traversal and only the window's live
+edge set — the expansion the incremental count/anchor updates actually
+consume — is ever materialised.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ from ..api.protocol import ClustererMixin
 from ..api.registry import register_algorithm
 from ..dbscan.disjoint_set import ParallelDisjointSet
 from ..dbscan.params import NOISE, DBSCANParams, DBSCANResult, canonicalize_labels
-from ..geometry.transforms import lift_to_3d, validate_points
+from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import OpCounts
 from ..perf.timing import ExecutionReport, PhaseTimer
 from ..rtcore.device import RTDevice
@@ -270,7 +275,7 @@ class StreamingRTDBSCAN(ClustererMixin):
         pts = np.asarray(points, dtype=np.float64)
         if pts.size == 0:
             return np.empty((0, 3), dtype=np.float64)
-        return lift_to_3d(validate_points(pts, name="chunk"))
+        return ensure_points3d(pts, name="chunk")
 
     # ------------------------------------------------------------------ #
     def update(self, points: np.ndarray) -> StreamUpdate:

@@ -225,21 +225,19 @@ class StreamingScene:
         return seconds
 
     # ------------------------------------------------------------------ #
-    def query_pairs(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
-        """ε-rays from the given (active) slots against the whole scene.
+    def query_csr(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """ε-rays from the given (active) slots, confirmed hits as CSR.
 
-        Returns ``(query_slot, hit_slot, stats)`` pairs in slot space.  The
-        intersection program applies the exact distance test, rejects parked
-        primitives, and excludes the self hit — matching the batch sphere
-        program's semantics.
+        Row ``i`` of the returned ``(indptr, indices)`` adjacency holds the
+        hit slot ids of query slot ``slots[i]``.  The intersection program
+        applies the exact distance test, rejects parked primitives, and
+        excludes the self hit — matching the batch sphere program's
+        semantics.  Runs through the zero-materialisation CSR launch, so the
+        candidate pair set is confirmed chunk-by-chunk inside the traversal.
         """
         slots = np.asarray(slots, dtype=np.intp)
         if slots.size == 0:
-            return (
-                np.empty(0, dtype=np.intp),
-                np.empty(0, dtype=np.intp),
-                LaunchStats(),
-            )
+            return np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.intp), LaunchStats()
         if self.pipeline is None:
             raise RuntimeError("commit() must run before querying the scene")
         qpts = self.centers[slots]
@@ -253,8 +251,25 @@ class StreamingScene:
             return hit
 
         programs = ProgramGroup(intersection=intersection, name="streaming-window")
-        q_hit, p_hit, stats = self.pipeline.launch_hit_queries(qpts, programs)
-        return slots[q_hit], p_hit, stats
+        return self.pipeline.launch_csr_queries(qpts, programs)
+
+    def query_pairs(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """ε-rays from the given (active) slots against the whole scene.
+
+        Returns ``(query_slot, hit_slot, stats)`` pairs in slot space —
+        the expanded form of :meth:`query_csr`, sized by the window's live
+        edge set (small per update), not by any candidate intermediate.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        if slots.size == 0:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.intp),
+                LaunchStats(),
+            )
+        indptr, indices, stats = self.query_csr(slots)
+        q_rows = np.repeat(slots, np.diff(indptr))
+        return q_rows, indices, stats
 
     def release(self) -> None:
         """Free the device-side scene."""

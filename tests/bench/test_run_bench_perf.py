@@ -1,0 +1,97 @@
+"""Tests for the benchmark runner script: perf profile and smoke budget."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", ROOT / "scripts" / "run_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPerfProfile:
+    @pytest.fixture(scope="class")
+    def snapshot(self, run_bench, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perf") / "BENCH_perf.json"
+        rc = run_bench.main([
+            "--profile", "perf", "--perf-sizes", "800", "--out", str(out),
+        ])
+        assert rc == 0
+        return json.loads(out.read_text())
+
+    def test_one_record_per_backend(self, run_bench, snapshot):
+        records = snapshot["perf"]["records"]
+        assert [r["backend"] for r in records] == list(run_bench.PERF["backends"])
+        assert all(r["n"] == 800 for r in records)
+
+    def test_records_carry_host_metrics(self, snapshot):
+        for rec in snapshot["perf"]["records"]:
+            assert rec["wall_seconds"] > 0
+            assert rec["ru_maxrss_bytes"] > 0
+            assert rec["tracemalloc_peak_bytes"] > 0
+            assert rec["counts"]["kernel_launches"] >= 1
+
+    def test_labels_and_simulated_time_identical_across_backends(self, snapshot):
+        """The snapshot proves backend equivalence: same labels checksum."""
+        records = snapshot["perf"]["records"]
+        assert len({r["labels_sha256"] for r in records}) == 1
+        assert len({r["num_clusters"] for r in records}) == 1
+
+    def test_baseline_comparison_embedded(self, run_bench, snapshot, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(snapshot, default=float))
+        out = tmp_path / "now.json"
+        rc = run_bench.main([
+            "--profile", "perf", "--perf-sizes", "800",
+            "--baseline", str(base), "--out", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        comparisons = payload["perf"]["vs_baseline"]
+        assert len(comparisons) == len(payload["perf"]["records"])
+        for comp in comparisons:
+            assert comp["labels_identical"] is True
+            assert comp["simulated_seconds_identical"] is True
+            assert comp["counts_identical"] is True
+            assert comp["wall_speedup"] > 0
+        assert payload["perf"]["overall_wall_speedup"] > 0
+
+
+class TestSmokeBudget:
+    def _run_smoke(self, run_bench, tmp_path, budget: dict | None):
+        out = tmp_path / "BENCH_smoke.json"
+        args = [
+            "--profile", "smoke", "--experiments", "sec6c", "--streaming",
+            "--scale", "0.1", "--out", str(out),
+        ]
+        if budget is not None:
+            budget_file = tmp_path / "budget.json"
+            budget_file.write_text(json.dumps(budget))
+            args += ["--budget-file", str(budget_file)]
+        return run_bench.main(args), out
+
+    def test_within_budget_returns_zero(self, run_bench, tmp_path):
+        rc, out = self._run_smoke(
+            run_bench, tmp_path,
+            {"smoke_seconds_seed": 10_000, "smoke_budget_factor": 2.0},
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_exceeded_budget_returns_three(self, run_bench, tmp_path):
+        rc, out = self._run_smoke(
+            run_bench, tmp_path,
+            {"smoke_seconds_seed": 0.000001, "smoke_budget_factor": 2.0},
+        )
+        assert rc == 3
+        assert out.exists()  # the snapshot is still written for inspection

@@ -1,0 +1,78 @@
+"""form_clusters_csr: CSR-consuming stage 2 is bit-identical to the pair path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adjacency import pairs_to_csr
+from repro.dbscan.formation import form_clusters, form_clusters_csr
+
+
+def _random_adjacency(rng: np.random.Generator, n: int, m: int):
+    """A random symmetric pair multiset (both directions, no self pairs)."""
+    a = rng.integers(0, n, size=m)
+    b = rng.integers(0, n, size=m)
+    keep = a != b
+    a, b = a[keep], b[keep]
+    q = np.concatenate([a, b])
+    p = np.concatenate([b, a])
+    return q, p
+
+
+class TestFormClustersCSR:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("min_core_fraction", [0.0, 0.4, 1.0])
+    def test_matches_pair_formation(self, seed, min_core_fraction):
+        rng = np.random.default_rng(seed)
+        n = 300
+        q, p = _random_adjacency(rng, n, 900)
+        core = rng.random(n) < min_core_fraction
+        indptr, indices = pairs_to_csr(q, p, n)
+
+        ref = form_clusters(q, p, core)
+        got = form_clusters_csr(indptr, indices, core)
+        np.testing.assert_array_equal(got.labels, ref.labels)
+        assert got.num_unions == ref.num_unions
+        assert got.num_atomics == ref.num_atomics
+
+    def test_empty_adjacency_all_noise(self):
+        core = np.zeros(10, dtype=bool)
+        res = form_clusters_csr(np.zeros(11, dtype=np.int64), np.empty(0, dtype=np.intp), core)
+        assert (res.labels == -1).all()
+        assert res.num_unions == 0 and res.num_atomics == 0
+
+    def test_isolated_core_points_form_singletons(self):
+        core = np.ones(4, dtype=bool)
+        res = form_clusters_csr(np.zeros(5, dtype=np.int64), np.empty(0, dtype=np.intp), core)
+        np.testing.assert_array_equal(res.labels, [0, 1, 2, 3])
+
+    def test_border_attaches_to_lowest_core(self):
+        # Point 2 is border, within eps of cores 0 and 1 (different clusters):
+        # the deterministic rule attaches it to the lowest-indexed core.
+        core = np.array([True, True, False])
+        q = np.array([0, 1])
+        p = np.array([2, 2])
+        indptr, indices = pairs_to_csr(q, p, 3)
+        res = form_clusters_csr(indptr, indices, core)
+        assert res.labels[2] == res.labels[0]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=80),
+        m=st.integers(min_value=0, max_value=400),
+        threshold=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_pairs_vs_csr(self, seed, n, m, threshold):
+        rng = np.random.default_rng(seed)
+        q, p = _random_adjacency(rng, n, m)
+        core = rng.random(n) < threshold
+        indptr, indices = pairs_to_csr(q, p, n)
+        ref = form_clusters(q, p, core)
+        got = form_clusters_csr(indptr, indices, core)
+        np.testing.assert_array_equal(got.labels, ref.labels)
+        assert got.num_unions == ref.num_unions
+        assert got.num_atomics == ref.num_atomics

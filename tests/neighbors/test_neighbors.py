@@ -148,7 +148,7 @@ class TestUniformGrid:
         pts = _points(150, seed=8)
         grid = UniformGrid(pts, 1.0)
         all_points = np.concatenate(
-            [grid.points_in_cell(cid) for cid in grid.cell_start]
+            [grid.points_in_cell(cid) for cid in grid.cell_table]
         )
         assert sorted(all_points.tolist()) == list(range(150))
 
