@@ -195,6 +195,20 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
                   flush=True)
     payload["perf"] = {"records": records}
 
+    # Speedup-vs-agreement sweep of the approximate tier: every knob setting
+    # of the lsh/sampled backends against the exact brute baseline, so the
+    # perf snapshot records each approximate speedup next to its error bar.
+    from repro.bench.experiments import run_approx_experiment
+    from repro.bench.report import format_agreement_table
+
+    print("[bench] perf approx agreement sweep ...", flush=True)
+    approx_records = run_approx_experiment("approx", scale=scale)
+    payload["perf"]["approx"] = [r.as_dict() for r in approx_records]
+    print(format_agreement_table(
+        approx_records,
+        title="[bench] approximate tier: speedup vs agreement (baseline rt-dbscan@brute)",
+    ), flush=True)
+
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
         base_records = base.get("perf", {}).get("records", [])

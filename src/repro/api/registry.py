@@ -69,12 +69,23 @@ class BackendEntry:
     ``factory`` is called as ``factory(points, radius, device=..., **kwargs)``
     and must return an object satisfying the
     :class:`~repro.neighbors.backend.NeighborBackend` protocol.
+
+    ``exact`` records the exactness contract: exact backends return the true
+    ε-adjacency (and therefore bit-identical DBSCAN labels); approximate
+    backends (``exact=False``) trade recall for speed and every run through
+    them should ship with an agreement report against an exact reference
+    (see :func:`repro.metrics.agreement_summary`).  ``knobs`` names the
+    backend-specific constructor kwargs (e.g. ``recall_target`` for the LSH
+    backend) that :class:`~repro.api.spec.ClustererSpec` validates and
+    :func:`make_clusterer` routes to the backend factory.
     """
 
     name: str
     factory: Callable[..., Any]
     description: str = ""
     aliases: tuple[str, ...] = ()
+    exact: bool = True
+    knobs: tuple[str, ...] = ()
 
 
 _ALGORITHMS: dict[str, AlgorithmEntry] = {}
@@ -84,6 +95,7 @@ _BACKENDS: dict[str, BackendEntry] = {}
 _BUILTIN_MODULES = (
     "repro.neighbors.rt_find",
     "repro.neighbors.backend",
+    "repro.neighbors.approx",
     "repro.dbscan",
     "repro.baselines",
     "repro.streaming",
@@ -153,12 +165,19 @@ def register_algorithm(
 
 
 def register_backend(
-    name: str, *, description: str = "", aliases: tuple[str, ...] = ()
+    name: str,
+    *,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    exact: bool = True,
+    knobs: tuple[str, ...] = (),
 ) -> Callable:
     """Class/function decorator that registers a neighbour-backend factory.
 
     The decorated object must be callable as ``factory(points, radius,
-    device=..., **kwargs)``.
+    device=..., **kwargs)``.  ``exact=False`` marks deliberately inexact
+    backends (the approximate tier); ``knobs`` declares their tunable
+    speed/recall kwargs so specs can validate them up front.
     """
 
     def decorator(factory: Callable) -> Callable:
@@ -167,6 +186,8 @@ def register_backend(
             factory=factory,
             description=description,
             aliases=tuple(a.lower() for a in aliases),
+            exact=exact,
+            knobs=tuple(knobs),
         )
         for key in (entry.name, *entry.aliases):
             if key in _BACKENDS:
@@ -255,6 +276,19 @@ def make_clusterer(spec, *, device=None):
     params = dict(spec.params)
     if backend is not None:
         params["backend"] = backend
+        # Route backend-specific knobs (declared on the registry entry) into
+        # the ``backend_kwargs`` dict the backend-pluggable algorithms
+        # forward verbatim to make_backend: both the explicit
+        # ``params["backend_kwargs"]`` spelling and bare top-level knobs
+        # (``recall_target=0.9``) are accepted; unknown knob names were
+        # already rejected by ``spec.resolve()``.
+        knobs = get_backend(backend).knobs
+        backend_kwargs = dict(params.pop("backend_kwargs", None) or {})
+        for knob in knobs:
+            if knob in params:
+                backend_kwargs.setdefault(knob, params.pop(knob))
+        if backend_kwargs:
+            params["backend_kwargs"] = backend_kwargs
     if spec.tiles is not None:
         params["tiles"] = spec.tiles
     if spec.workers is not None:

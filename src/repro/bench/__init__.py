@@ -10,9 +10,16 @@ from .experiments import (
     ExperimentSpec,
     get_experiment,
     list_experiments,
+    run_approx_experiment,
     run_experiment,
 )
-from .report import format_breakdown, format_records, format_speedup_table, format_time_table
+from .report import (
+    format_agreement_table,
+    format_breakdown,
+    format_records,
+    format_speedup_table,
+    format_time_table,
+)
 from .runner import ALGORITHMS, RunRecord, run_single, run_sweep, speedup_series
 
 __all__ = [
@@ -21,6 +28,8 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run_experiment",
+    "run_approx_experiment",
+    "format_agreement_table",
     "format_breakdown",
     "format_records",
     "format_speedup_table",

@@ -20,7 +20,8 @@ import numpy as np
 from ..data.registry import generate
 from ..data.stream import make_stream
 from ..neighbors.knn import kth_neighbor_distances
-from .runner import RunRecord, run_sweep
+from ..partition.executor import ParallelMap, as_parallel_map
+from .runner import RunRecord, run_single, run_sweep
 
 __all__ = [
     "calibrate_eps",
@@ -28,6 +29,7 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "run_approx_experiment",
     "list_experiments",
     "StreamingExperimentSpec",
     "StreamingRunResult",
@@ -79,7 +81,7 @@ class ExperimentSpec:
     paper_ref: str
     title: str
     dataset: str
-    mode: str  # "eps_sweep" | "size_sweep" | "breakdown" | "triangle_mode"
+    mode: str  # "eps_sweep" | "size_sweep" | "breakdown" | "triangle_mode" | "approx_sweep"
     algorithms: tuple[str, ...]
     baseline: str
     min_pts: int
@@ -124,7 +126,7 @@ class ExperimentSpec:
             pts = largest
             for eps in self.eps_values(pts):
                 configs.append((self.dataset, pts, eps, self.min_pts))
-        elif self.mode in ("size_sweep", "breakdown", "triangle_mode"):
+        elif self.mode in ("size_sweep", "breakdown", "triangle_mode", "approx_sweep"):
             eps_list = self.eps_values(largest)
             eps = eps_list[0]
             for n in sizes:
@@ -406,6 +408,41 @@ _register(ExperimentSpec(
 ))
 
 _register(ExperimentSpec(
+    id="approx",
+    paper_ref="Beyond the paper",
+    title="Approximate tier: speedup vs agreement per speed/recall knob setting",
+    dataset="blobs",
+    mode="approx_sweep",
+    algorithms=("rt-dbscan@brute", "rt-dbscan@lsh", "rt-dbscan@sampled"),
+    baseline="rt-dbscan@brute",
+    min_pts=10,
+    paper_sizes=(4_000,),
+    sizes=(4_000,),
+    eps_quantile=0.30,
+    description="The deliberately inexact lsh/sampled backends swept over their speed "
+                "knobs; every record carries the agreement_summary quality block (ARI, "
+                "core/noise/partition agreement) against the exact baseline, and speedups "
+                "are over the exhaustive brute oracle the candidates skip.",
+    extra={
+        # the knob ladder each approximate backend is swept over, weakest first
+        "knobs": {
+            "lsh": [
+                {"recall_target": 0.5},
+                {"recall_target": 0.8},
+                {"recall_target": 0.95},
+                {"recall_target": 1.0},
+            ],
+            "sampled": [
+                {"sample_rate": 0.25},
+                {"sample_rate": 0.5},
+                {"sample_rate": 0.75},
+                {"sample_rate": 1.0},
+            ],
+        },
+    },
+))
+
+_register(ExperimentSpec(
     id="backends",
     paper_ref="Beyond the paper",
     title="Backend ablation: Algorithm 3 on RT, grid, KD-tree and brute substrates",
@@ -652,6 +689,57 @@ def run_experiment(
 ) -> list[RunRecord]:
     """Run every configuration of one experiment and return the records."""
     spec = get_experiment(exp_id)
+    if spec.mode == "approx_sweep":
+        return run_approx_experiment(spec, scale=scale, **kwargs)
     configs = spec.build_configs(scale=scale)
     algos = list(algorithms) if algorithms is not None else list(spec.algorithms)
     return run_sweep(algos, configs, **kwargs)
+
+
+def _run_approx_job(job: tuple) -> RunRecord:
+    """One approx-sweep cell; module-level so process executors can pickle it."""
+    algo, pts, eps, min_pts, label, cost_model, reference, knob = job
+    kwargs = {"backend_kwargs": dict(knob)} if knob else {}
+    return run_single(
+        algo, pts, eps, min_pts, dataset=label, cost_model=cost_model,
+        reference=reference, **kwargs,
+    )
+
+
+def run_approx_experiment(
+    spec: ExperimentSpec | str,
+    *,
+    scale: float = 1.0,
+    cost_model=None,
+    workers: int | ParallelMap | None = None,
+    executor_mode: str | None = None,
+) -> list[RunRecord]:
+    """Sweep the approximate backends over their knob ladders with agreement.
+
+    Returns one record for the exact baseline plus one per
+    (approximate algorithm, knob setting), each approximate record carrying
+    the :func:`repro.metrics.agreement_summary` quality block against the
+    baseline under ``extra["agreement"]`` and its knob setting under
+    ``extra["backend_kwargs"]`` — the data behind the speedup-vs-agreement
+    table (:func:`repro.bench.report.format_agreement_table`).  ``workers``
+    fans the independent cells out over the shared
+    :class:`~repro.partition.executor.ParallelMap` executor, as in
+    :func:`~repro.bench.runner.run_sweep`.
+    """
+    if isinstance(spec, str):
+        spec = get_experiment(spec)
+    if spec.mode != "approx_sweep":
+        raise ValueError(f"experiment {spec.id!r} is not an approx_sweep experiment")
+    label, pts, eps, min_pts = spec.build_configs(scale=scale)[0]
+    ladders = spec.extra.get("knobs", {})
+    jobs = [(spec.baseline, pts, eps, min_pts, label, cost_model, None, None)]
+    for algo in spec.algorithms:
+        if algo == spec.baseline:
+            continue
+        backend = algo.partition("@")[2]
+        for knob in ladders.get(backend, [{}]):
+            jobs.append(
+                (algo, pts, eps, min_pts, label, cost_model, spec.baseline, knob)
+            )
+    executor = as_parallel_map(workers, mode=executor_mode)
+    return executor.map(_run_approx_job, jobs)

@@ -77,6 +77,14 @@ class RTDBSCAN(ClustererMixin):
         Use the Section VI-C triangle tessellation instead of the sphere
         Intersection program (slower; for the ablation benchmark).  Only
         meaningful with the ``"rt"`` backend.
+    backend_kwargs:
+        Extra keyword arguments forwarded verbatim to the backend factory —
+        the knob channel of the approximate tier (e.g.
+        ``backend="lsh", backend_kwargs={"recall_target": 0.8}``).  With an
+        approximate backend the labels are no longer bit-identical to the
+        exact substrates; pair such runs with
+        :func:`repro.metrics.agreement_summary` or
+        ``repro.cluster(..., reference=...)``.
     keep_neighbor_counts:
         Store the per-point neighbour counts (and the points) in the result
         so that :meth:`DBSCANResult.refit` can relabel with a different
@@ -93,6 +101,7 @@ class RTDBSCAN(ClustererMixin):
     triangle_mode: bool = False
     triangle_subdivisions: int = 0
     keep_neighbor_counts: bool = True
+    backend_kwargs: dict | None = None
 
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
@@ -105,14 +114,18 @@ class RTDBSCAN(ClustererMixin):
 
     def _backend_kwargs(self) -> dict:
         if self.backend == "rt":
-            return {
+            kwargs = {
                 "builder": self.builder,
                 "leaf_size": self.leaf_size,
                 "chunk_size": self.chunk_size,
                 "triangle_mode": self.triangle_mode,
                 "triangle_subdivisions": self.triangle_subdivisions,
             }
-        return {}
+        else:
+            kwargs = {}
+        if self.backend_kwargs:
+            kwargs.update(self.backend_kwargs)
+        return kwargs
 
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
@@ -203,6 +216,11 @@ class RTDBSCAN(ClustererMixin):
             extra={
                 "build_seconds": finder.build_seconds if finder else 0.0,
                 "backend": self.backend,
+                **(
+                    {"backend_kwargs": dict(self.backend_kwargs)}
+                    if self.backend_kwargs
+                    else {}
+                ),
             },
         )
 

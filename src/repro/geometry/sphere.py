@@ -50,8 +50,17 @@ class SphereGeometry:
 
     # -- OWL-style bounds program ------------------------------------- #
     def bounds(self) -> AABB:
-        """Axis-aligned bounding boxes, one per sphere (the bounds program)."""
-        return AABB(self.centers - self.radii[:, None], self.centers + self.radii[:, None])
+        """Axis-aligned bounding boxes, one per sphere (the bounds program).
+
+        The boxes are padded by a few ulps: the intersection program accepts
+        any point whose *rounded* squared distance is ≤ r², and such points
+        can sit marginally outside the exact ball.  Without the pad the BVH
+        would prune candidates the distance test confirms, making traversal
+        results diverge from brute force exactly at the ε boundary.
+        """
+        r = self.radii[:, None]
+        pad = 4.0 * np.finfo(np.float64).eps * (np.abs(self.centers) + r)
+        return AABB(self.centers - r - pad, self.centers + r + pad)
 
     # -- OWL-style intersection program -------------------------------- #
     def contains(self, points: np.ndarray, prim_ids: np.ndarray) -> np.ndarray:

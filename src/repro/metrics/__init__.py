@@ -6,11 +6,18 @@ to ties) used to validate every accelerated implementation against the
 sequential oracle.
 """
 
-from .agreement import AgreementReport, compare_results, core_partitions_equal, labels_equivalent
+from .agreement import (
+    AgreementReport,
+    agreement_summary,
+    compare_results,
+    core_partitions_equal,
+    labels_equivalent,
+)
 from .ari import adjusted_rand_index, contingency_matrix, pair_confusion_matrix, rand_index
 
 __all__ = [
     "AgreementReport",
+    "agreement_summary",
     "compare_results",
     "core_partitions_equal",
     "labels_equivalent",

@@ -1,11 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.data.synthetic import make_blobs, make_uniform_noise
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    settings = None
+
+if settings is not None:
+    # "ci": no deadline (shared runners have unpredictable timing) and
+    # derandomised examples, so property tests cannot flake on CI; "dev"
+    # keeps the library defaults, including random exploration.  Selected
+    # via HYPOTHESIS_PROFILE (the CI workflow sets it to "ci").
+    settings.register_profile("ci", deadline=None, derandomize=True)
+    settings.register_profile("dev", settings.default)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,264 @@
+"""Unit tests for the approximate neighbour tier (lsh / sampled).
+
+The exact backends promise bit-identity and are covered by
+tests/test_equivalence_matrix.py; the approximate backends promise
+*quantified agreement* instead.  This file pins down the pieces of that
+contract that are unit-testable without a full clustering run: registry
+metadata, knob validation and routing, perfect precision, recall loss at
+weak knob settings, the probe-budget maths, and the agreement report
+plumbed through the facade / bench layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cluster
+from repro.adjacency import csr_row_ids
+from repro.api.facade import DEFAULT_REFERENCE
+from repro.api.registry import get_backend, list_backends, make_backend, make_clusterer
+from repro.api.spec import ClustererSpec
+from repro.data.synthetic import make_blobs
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.metrics.agreement import agreement_summary
+from repro.neighbors.approx import (
+    LSHNeighborBackend,
+    SampledNeighborBackend,
+    probes_for_recall,
+)
+from repro.partition.tiled import TiledRTDBSCAN
+
+EPS = 0.3
+MIN_PTS = 8
+
+
+@pytest.fixture(scope="module")
+def pts() -> np.ndarray:
+    data, _ = make_blobs(600, centers=4, std=0.3, seed=21)
+    return np.asarray(data, dtype=np.float64)
+
+
+class TestRegistryMetadata:
+    def test_approximate_backends_are_registered(self):
+        names = set(list_backends())
+        assert {"lsh", "sampled"} <= names
+
+    @pytest.mark.parametrize("name", ["lsh", "sampled"])
+    def test_marked_inexact(self, name):
+        assert get_backend(name).exact is False
+
+    @pytest.mark.parametrize("name", ["rt", "grid", "kdtree", "brute"])
+    def test_exact_backends_stay_exact(self, name):
+        entry = get_backend(name)
+        assert entry.exact is True
+        assert entry.knobs == ()
+
+    def test_declared_knobs(self):
+        assert "recall_target" in get_backend("lsh").knobs
+        assert "num_probes" in get_backend("lsh").knobs
+        assert "sample_rate" in get_backend("sampled").knobs
+
+
+class TestKnobValidation:
+    def test_spec_rejects_unknown_knob(self):
+        spec = ClustererSpec(
+            algo="rt-dbscan@lsh", eps=EPS, min_pts=MIN_PTS,
+            params={"backend_kwargs": {"bogus": 1}},
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            spec.resolve()
+
+    def test_spec_rejects_knobs_on_exact_backend(self):
+        spec = ClustererSpec(
+            algo="rt-dbscan@grid", eps=EPS, min_pts=MIN_PTS,
+            params={"backend_kwargs": {"recall_target": 0.9}},
+        )
+        with pytest.raises(ValueError, match="recall_target"):
+            spec.resolve()
+
+    def test_make_clusterer_routes_top_level_knobs(self, pts):
+        spec = ClustererSpec(
+            algo="rt-dbscan@lsh", eps=EPS, min_pts=MIN_PTS,
+            params={"recall_target": 0.7},
+        )
+        clusterer = make_clusterer(spec)
+        assert clusterer.backend_kwargs == {"recall_target": 0.7}
+        result = clusterer.fit(pts)
+        assert result.extra["backend_kwargs"] == {"recall_target": 0.7}
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"num_probes": 0}, "num_probes"),
+            ({"width_factor": 0.0}, "width_factor"),
+            ({"recall_target": 0.0}, "recall_target"),
+            ({"recall_target": 1.5}, "recall_target"),
+        ],
+    )
+    def test_lsh_constructor_validation(self, pts, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            make_backend("lsh", pts, EPS, **kwargs)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_sampled_rate_validation(self, pts, rate):
+        with pytest.raises(ValueError, match="sample_rate"):
+            make_backend("sampled", pts, EPS, sample_rate=rate)
+
+
+class TestProbeBudget:
+    def test_more_recall_needs_more_probes(self):
+        probes = [
+            probes_for_recall(r, radius=EPS, width=4 * EPS)
+            for r in (0.5, 0.8, 0.95, 0.99)
+        ]
+        assert probes == sorted(probes)
+        assert probes[0] >= 1
+
+    def test_full_recall_requests_exhaustive_fallback(self):
+        assert probes_for_recall(1.0, radius=EPS, width=4 * EPS) is None
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.01])
+    def test_out_of_range_targets_rejected(self, bad):
+        with pytest.raises(ValueError):
+            probes_for_recall(bad, radius=EPS, width=4 * EPS)
+
+    def test_budget_is_capped(self):
+        assert probes_for_recall(
+            0.999999, radius=EPS, width=1.01 * EPS, max_probes=16
+        ) == 16
+
+
+class TestPrecisionAndRecall:
+    def _pairs(self, backend) -> set[tuple[int, int]]:
+        indptr, indices, _ = backend.neighbor_csr()
+        return set(zip(csr_row_ids(indptr).tolist(), indices.tolist()))
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("lsh", {"num_probes": 1, "width_factor": 1.5}),
+        ("sampled", {"sample_rate": 0.4}),
+    ])
+    def test_perfect_precision_imperfect_recall(self, pts, name, kwargs):
+        oracle = make_backend("brute", pts, EPS)
+        backend = make_backend(name, pts, EPS, **kwargs)
+        try:
+            truth = self._pairs(oracle)
+            found = self._pairs(backend)
+        finally:
+            backend.release()
+            oracle.release()
+        assert found <= truth  # never a false positive
+        assert len(found) < len(truth)  # weak knobs genuinely drop edges
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("lsh", {"recall_target": 1.0}),
+        ("sampled", {"sample_rate": 1.0}),
+    ])
+    def test_max_knob_matches_brute_csr(self, pts, name, kwargs):
+        oracle = make_backend("brute", pts, EPS)
+        backend = make_backend(name, pts, EPS, **kwargs)
+        try:
+            o_indptr, o_indices, _ = oracle.neighbor_csr()
+            b_indptr, b_indices, _ = backend.neighbor_csr()
+        finally:
+            backend.release()
+            oracle.release()
+        np.testing.assert_array_equal(b_indptr, o_indptr)
+        np.testing.assert_array_equal(b_indices, o_indices)
+
+    def test_csr_rows_are_sorted(self, pts):
+        backend = make_backend("lsh", pts, EPS, recall_target=0.8)
+        try:
+            indptr, indices, _ = backend.neighbor_csr()
+            for lo, hi in zip(indptr[:-1], indptr[1:]):
+                row = indices[lo:hi]
+                assert np.all(np.diff(row) > 0)
+        finally:
+            backend.release()
+
+    def test_lsh_reports_its_probe_budget(self, pts):
+        backend = make_backend("lsh", pts, EPS, num_probes=3)
+        try:
+            assert backend.effective_probes == 3
+        finally:
+            backend.release()
+
+    def test_sampled_counts_candidates_against_pool(self, pts):
+        backend = make_backend("sampled", pts, EPS, sample_rate=0.5)
+        try:
+            assert backend.sample_size == int(np.ceil(0.5 * pts.shape[0]))
+            _, stats = backend.neighbor_counts()
+            assert stats.intersection_calls <= pts.shape[0] * backend.sample_size
+        finally:
+            backend.release()
+
+
+class TestAgreementPlumbing:
+    def test_facade_reference_attaches_agreement(self, pts):
+        result = cluster(
+            pts, eps=EPS, min_pts=MIN_PTS, backend="lsh", reference=True
+        )
+        agreement = result.extra["agreement"]
+        assert agreement["reference_algorithm"] == DEFAULT_REFERENCE.split("@")[0]
+        assert agreement["reference_backend"] == DEFAULT_REFERENCE.split("@")[1]
+        assert 0.0 <= agreement["ari"] <= 1.0
+        assert 0.0 <= agreement["core_agreement"] <= 1.0
+
+    def test_facade_reference_accepts_explicit_algo(self, pts):
+        result = cluster(
+            pts, eps=EPS, min_pts=MIN_PTS, backend="sampled",
+            reference="rt-dbscan@brute",
+        )
+        assert result.extra["agreement"]["reference_backend"] == "brute"
+
+    def test_agreement_summary_reports_full_match_at_max_knob(self, pts):
+        exact = RTDBSCAN(eps=EPS, min_pts=MIN_PTS, backend="brute").fit(pts)
+        approx = RTDBSCAN(
+            eps=EPS, min_pts=MIN_PTS, backend="lsh",
+            backend_kwargs={"recall_target": 1.0},
+        ).fit(pts)
+        summary = agreement_summary(approx, exact, points=pts)
+        assert summary["equivalent"] is True
+        assert summary["ari"] == 1.0
+        assert summary["core_agreement"] == 1.0
+        assert summary["noise_agreement"] == 1.0
+        assert summary["simulated_speedup"] > 0.0
+
+
+class TestLayerGuards:
+    def test_tiled_rejects_approximate_backends(self):
+        with pytest.raises(ValueError, match="exact neighbour backend"):
+            TiledRTDBSCAN(eps=EPS, min_pts=MIN_PTS, backend="sampled", tiles=4)
+
+    def test_tiled_accepts_exact_backend_kwargs_channel(self, pts):
+        result = TiledRTDBSCAN(
+            eps=EPS, min_pts=MIN_PTS, backend="kdtree", tiles=4
+        ).fit(pts)
+        assert result.num_clusters >= 1
+
+
+class TestStandaloneBackendsClasses:
+    """The dataclasses are importable and usable outside the registry."""
+
+    def test_lsh_direct_construction(self, pts):
+        backend = LSHNeighborBackend(
+            points=pts, radius=EPS, recall_target=0.9, seed=3
+        )
+        try:
+            counts, _ = backend.neighbor_counts()
+            assert counts.shape == (pts.shape[0],)
+        finally:
+            backend.release()
+
+    def test_sampled_direct_construction(self, pts):
+        backend = SampledNeighborBackend(points=pts, radius=EPS, sample_rate=0.3)
+        try:
+            counts, _ = backend.neighbor_counts()
+            brute = make_backend("brute", pts, EPS)
+            try:
+                exact_counts, _ = brute.neighbor_counts()
+            finally:
+                brute.release()
+            assert np.all(counts <= exact_counts)
+        finally:
+            backend.release()

@@ -1,0 +1,125 @@
+"""Monotonicity contract of the approximate tier.
+
+Two families of guarantees, matching the docstring of
+:mod:`repro.neighbors.approx`:
+
+* **Structural** (exact, hypothesis-verified): with a fixed seed the probe
+  tables / sample sets are nested across knob settings, so the discovered
+  ε-pair set grows monotonically with the knob, and every reported pair is a
+  true ε-pair (perfect precision).
+* **Empirical** (fixed seeded dataset): walking each backend's knob ladder
+  upward never decreases the measured ARI against the exact reference, and
+  at the maximum setting both backends are DBSCAN-equivalent (indeed
+  bit-identical) to the brute oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adjacency import csr_row_ids
+from repro.api.registry import make_backend
+from repro.data.synthetic import make_blobs
+from repro.dbscan.rt_dbscan import rt_dbscan
+from repro.metrics.agreement import compare_results
+from repro.metrics.ari import adjusted_rand_index
+
+EPS = 0.25
+MIN_PTS = 10
+
+# The fixed seeded dataset of the empirical ladder: dense enough that the
+# weakest knob settings visibly disagree with the exact clustering.
+POINTS = np.asarray(make_blobs(1500, centers=6, std=0.25, seed=42)[0])
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _pair_set(backend) -> set[tuple[int, int]]:
+    indptr, indices, _ = backend.neighbor_csr()
+    return set(zip(csr_row_ids(indptr).tolist(), indices.tolist()))
+
+
+class TestStructuralMonotonicity:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds, data_seed=seeds)
+    def test_lsh_edge_set_grows_with_probe_count(self, seed, data_seed):
+        pts = np.asarray(make_blobs(400, centers=4, std=0.3, seed=data_seed)[0])
+        previous: set | None = None
+        for probes in (1, 2, 4, 8):
+            backend = make_backend(
+                "lsh", pts, EPS, num_probes=probes, width_factor=1.5, seed=seed
+            )
+            try:
+                pairs = _pair_set(backend)
+            finally:
+                backend.release()
+            if previous is not None:
+                assert previous <= pairs
+            previous = pairs
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds, data_seed=seeds)
+    def test_sampled_pool_is_nested_across_rates(self, seed, data_seed):
+        pts = np.asarray(make_blobs(300, centers=3, std=0.3, seed=data_seed)[0])
+        previous: set | None = None
+        for rate in (0.2, 0.5, 0.8, 1.0):
+            backend = make_backend("sampled", pts, EPS, sample_rate=rate, seed=seed)
+            try:
+                sample = set(backend.sample.tolist())
+            finally:
+                backend.release()
+            if previous is not None:
+                assert previous <= sample
+            previous = sample
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds, backend_name=st.sampled_from(["lsh", "sampled"]))
+    def test_every_reported_pair_is_a_true_eps_pair(self, seed, backend_name):
+        pts = np.asarray(make_blobs(300, centers=3, std=0.3, seed=seed)[0])
+        backend = make_backend(backend_name, pts, EPS, seed=seed)
+        try:
+            indptr, indices, _ = backend.neighbor_csr()
+            rows = csr_row_ids(indptr)
+            d = np.linalg.norm(backend.points[rows] - backend.points[indices], axis=1)
+        finally:
+            backend.release()
+        assert np.all(d <= EPS)
+
+
+class TestEmpiricalARILadder:
+    LADDERS = {
+        "lsh": ("recall_target", (0.3, 0.6, 0.9, 1.0)),
+        "sampled": ("sample_rate", (0.25, 0.5, 0.75, 1.0)),
+    }
+
+    @pytest.mark.parametrize("backend_name", sorted(LADDERS))
+    def test_raising_the_knob_never_decreases_ari(self, backend_name):
+        exact = rt_dbscan(POINTS, eps=EPS, min_pts=MIN_PTS, backend="brute")
+        knob, ladder = self.LADDERS[backend_name]
+        aris = []
+        for value in ladder:
+            approx = rt_dbscan(
+                POINTS, eps=EPS, min_pts=MIN_PTS, backend=backend_name,
+                backend_kwargs={knob: value, "seed": 0},
+            )
+            aris.append(adjusted_rand_index(approx.labels, exact.labels))
+        for weaker, stronger in zip(aris, aris[1:]):
+            assert stronger >= weaker - 1e-12, aris
+        assert aris[-1] == 1.0
+
+    @pytest.mark.parametrize("backend_name,knob", [("lsh", "recall_target"),
+                                                   ("sampled", "sample_rate")])
+    def test_max_knob_is_bit_identical_to_brute(self, backend_name, knob):
+        exact = rt_dbscan(POINTS, eps=EPS, min_pts=MIN_PTS, backend="brute")
+        approx = rt_dbscan(
+            POINTS, eps=EPS, min_pts=MIN_PTS, backend=backend_name,
+            backend_kwargs={knob: 1.0},
+        )
+        np.testing.assert_array_equal(approx.labels, exact.labels)
+        np.testing.assert_array_equal(approx.core_mask, exact.core_mask)
+        np.testing.assert_array_equal(approx.neighbor_counts, exact.neighbor_counts)
+        report = compare_results(exact, approx, points=POINTS)
+        assert report.equivalent, report.as_dict()

@@ -1,0 +1,153 @@
+"""Metamorphic invariances of the exact DBSCAN pipeline.
+
+Hypothesis-driven checks that the transformations DBSCAN is mathematically
+invariant under really do leave every exact backend's output unchanged:
+
+* permuting the points permutes the labelling (DBSCAN-equivalent under the
+  inverse permutation);
+* rigid motions (translation, rotation) leave the labelling
+  DBSCAN-equivalent;
+* co-scaling coordinates and eps by a power of two leaves the labels
+  bit-identical (power-of-two scaling commutes with float rounding);
+* duplicating a point never demotes a core point.
+
+Strategies draw small integers (seeds, indices, exponents) and build the
+datasets deterministically from them — never raw float arrays — so examples
+shrink well and replay exactly.  Rotation and translation perturb distances
+at the 1e-15 relative scale, so eps is placed at the midpoint of the largest
+gap in the realised pairwise-distance distribution: no distance sits near
+the threshold and the invariance cannot flake on rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import make_blobs
+from repro.dbscan.params import DBSCANResult
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.metrics.agreement import compare_results
+
+EXACT_BACKENDS = ("rt", "grid", "kdtree", "brute")
+MIN_PTS = 5
+
+backends = st.sampled_from(EXACT_BACKENDS)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _dataset(seed: int, n: int = 120) -> np.ndarray:
+    pts, _ = make_blobs(n, centers=3, std=0.3, seed=seed)
+    return np.asarray(pts, dtype=np.float64)
+
+
+def _margin_eps(pts: np.ndarray) -> float:
+    """eps at the midpoint of the largest pairwise-distance gap.
+
+    Restricted to the lower quantiles of the distance distribution so the
+    neighbourhood size stays in a DBSCAN-interesting regime; the midpoint of
+    the widest gap maximises the margin between eps and any realised
+    distance, making rigid-motion invariance immune to float perturbation.
+    """
+    diffs = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    d = np.sort(d[np.triu_indices(pts.shape[0], k=1)])
+    band = d[(d >= np.quantile(d, 0.01)) & (d <= np.quantile(d, 0.25))]
+    gaps = np.diff(band)
+    i = int(np.argmax(gaps))
+    return float((band[i] + band[i + 1]) / 2.0)
+
+
+def _fit(pts: np.ndarray, eps: float, backend: str) -> DBSCANResult:
+    return RTDBSCAN(eps=eps, min_pts=MIN_PTS, backend=backend).fit(pts)
+
+
+def _rotation(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+class TestRigidMotionInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, backend=backends, k=st.integers(min_value=1, max_value=12))
+    def test_translation_and_rotation_preserve_clustering(self, seed, backend, k):
+        pts = _dataset(seed)
+        eps = _margin_eps(pts)
+        base = _fit(pts, eps, backend)
+        angle = 2.0 * np.pi * k / 13.0
+        shift = np.array([17.25, -3.5])
+        moved = pts @ _rotation(angle).T + shift
+        transformed = _fit(moved, eps, backend)
+        report = compare_results(base, transformed, points=pts)
+        assert report.equivalent, report.as_dict()
+        assert report.ari == 1.0
+
+
+class TestScaleInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, backend=backends, exponent=st.integers(min_value=-3, max_value=4))
+    def test_power_of_two_coscaling_is_bit_exact(self, seed, backend, exponent):
+        pts = _dataset(seed)
+        eps = _margin_eps(pts)
+        base = _fit(pts, eps, backend)
+        factor = 2.0**exponent
+        scaled = _fit(pts * factor, eps * factor, backend)
+        np.testing.assert_array_equal(scaled.labels, base.labels)
+        np.testing.assert_array_equal(scaled.core_mask, base.core_mask)
+        np.testing.assert_array_equal(scaled.neighbor_counts, base.neighbor_counts)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, backend=backends, perm_seed=seeds)
+    def test_point_order_does_not_matter(self, seed, backend, perm_seed):
+        pts = _dataset(seed)
+        eps = _margin_eps(pts)
+        base = _fit(pts, eps, backend)
+        perm = np.random.default_rng(perm_seed).permutation(pts.shape[0])
+        permuted = _fit(pts[perm], eps, backend)
+        # Map the permuted labelling back to the original point order and
+        # compare as two results over the same points.
+        labels = np.empty_like(permuted.labels)
+        labels[perm] = permuted.labels
+        core_mask = np.empty_like(permuted.core_mask)
+        core_mask[perm] = permuted.core_mask
+        unpermuted = DBSCANResult(
+            labels=labels, core_mask=core_mask, params=permuted.params,
+            algorithm=permuted.algorithm,
+        )
+        report = compare_results(base, unpermuted, points=pts)
+        assert report.equivalent, report.as_dict()
+        np.testing.assert_array_equal(core_mask, base.core_mask)
+
+
+class TestMonotonicityUnderDuplication:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, backend=backends, data=st.data())
+    def test_duplicating_a_point_never_demotes_a_core_point(self, seed, backend, data):
+        pts = _dataset(seed)
+        eps = _margin_eps(pts)
+        base = _fit(pts, eps, backend)
+        idx = data.draw(st.integers(min_value=0, max_value=pts.shape[0] - 1))
+        augmented = _fit(np.vstack([pts, pts[idx]]), eps, backend)
+        # Adding a point can only grow neighbourhoods: every original core
+        # point must still be core, and no original core point may become
+        # noise.
+        was_core = base.core_mask
+        assert np.all(augmented.core_mask[: pts.shape[0]][was_core])
+        assert not np.any(augmented.labels[: pts.shape[0]][was_core] < 0)
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_duplicated_point_gets_its_twin_label(self, backend):
+        pts = _dataset(99)
+        eps = _margin_eps(pts)
+        augmented = _fit(np.vstack([pts, pts[:4]]), eps, backend)
+        twins = augmented.labels[pts.shape[0] :]
+        originals = augmented.labels[:4]
+        # A duplicate is at distance zero from its twin; whenever the twin
+        # is a core point the duplicate must join its cluster.
+        for twin, orig, core in zip(twins, originals, augmented.core_mask[:4]):
+            if core:
+                assert twin == orig
