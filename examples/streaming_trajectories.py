@@ -62,20 +62,23 @@ def drifting_hotspots() -> None:
     chunks = list(make_stream("drift-blobs", 14, 150, seed=7, drift=0.4))
     eps = suggest_eps(np.vstack(chunks), min_pts=5, quantile=0.30)
     print(f"calibrated eps={eps:.4f}")
-    engine = StreamingRTDBSCAN(
+    # The engine is a context manager: the slot-buffer scene is released on
+    # exit, which is the same teardown path the serving layer uses when it
+    # evicts an idle session.
+    with StreamingRTDBSCAN(
         eps=eps, min_pts=5, window=1200, policy=RefitPolicy(mode="auto"),
         initial_capacity=1400,
-    )
-    updates = engine.consume(chunks)
-    _print_updates(engine, updates)
+    ) as engine:
+        updates = engine.consume(chunks)
+        _print_updates(engine, updates)
 
-    # The latest window is also available as a batch-style result, so all
-    # the batch tooling (metrics, report formatters) applies directly.
-    result = engine.result()
-    sizes = result.cluster_sizes()
-    top = ", ".join(str(int(s)) for s in np.sort(sizes)[::-1][:5])
-    print(f"current window: {result.num_clusters} clusters "
-          f"(largest sizes: {top}), {result.num_noise} noise points")
+        # The latest window is also available as a batch-style result, so all
+        # the batch tooling (metrics, report formatters) applies directly.
+        result = engine.result()
+        sizes = result.cluster_sizes()
+        top = ", ".join(str(int(s)) for s in np.sort(sizes)[::-1][:5])
+        print(f"current window: {result.num_clusters} clusters "
+              f"(largest sizes: {top}), {result.num_noise} noise points")
 
 
 def main() -> None:

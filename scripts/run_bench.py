@@ -209,6 +209,20 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
         title="[bench] approximate tier: speedup vs agreement (baseline rt-dbscan@brute)",
     ), flush=True)
 
+    # Multi-tenant serving: interleaved skewed feeds through the session
+    # layer (micro-batching on) against a serial one-engine-per-tenant
+    # baseline over the identical ensemble.
+    from repro.bench.experiments import run_service_experiment
+
+    print("[bench] perf multi-tenant service throughput ...", flush=True)
+    svc = run_service_experiment()
+    payload["perf"]["service"] = svc
+    print(f"[bench]   {svc['num_tenants']} tenants x {svc['num_chunks_per_tenant']} "
+          f"chunks: batching {svc['batching_factor']:.2f}x, "
+          f"simulated speedup {svc['simulated_speedup_vs_serial']:.2f}x, "
+          f"wall speedup {svc['wall_speedup_vs_serial']:.2f}x vs serial, "
+          f"labels_match={svc['labels_match']}", flush=True)
+
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
         base_records = base.get("perf", {}).get("records", [])

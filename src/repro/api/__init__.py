@@ -21,6 +21,7 @@ from .registry import (
     list_backends,
     make_backend,
     make_clusterer,
+    make_streaming_clusterer,
     register_algorithm,
     register_backend,
     resolve_algorithm,
@@ -40,6 +41,7 @@ __all__ = [
     "list_backends",
     "make_backend",
     "make_clusterer",
+    "make_streaming_clusterer",
     "register_algorithm",
     "register_backend",
     "resolve_algorithm",

@@ -37,6 +37,7 @@ __all__ = [
     "list_backends",
     "make_backend",
     "make_clusterer",
+    "make_streaming_clusterer",
 ]
 
 
@@ -294,3 +295,23 @@ def make_clusterer(spec, *, device=None):
     if spec.workers is not None:
         params["workers"] = spec.workers
     return entry.factory(eps=spec.eps, min_pts=spec.min_pts, device=device, **params)
+
+
+def make_streaming_clusterer(spec, *, device=None):
+    """Instantiate a clusterer that supports incremental per-chunk ingest.
+
+    Exactly :func:`make_clusterer` plus the guarantee the serving layer
+    builds sessions on: the resolved algorithm must have been registered with
+    ``supports_partial_fit=True`` (so the instance satisfies the
+    :class:`~repro.api.protocol.StreamingClusterer` protocol and can consume
+    a feed chunk by chunk).  Raises ``ValueError`` for batch-only algorithms
+    instead of failing at the first ``partial_fit`` call.
+    """
+    entry, _ = spec.resolve()
+    if not entry.supports_partial_fit:
+        raise ValueError(
+            f"algorithm {entry.name!r} does not support partial_fit; "
+            "sessions need a streaming-capable algorithm such as "
+            "'streaming-rt-dbscan'"
+        )
+    return make_clusterer(spec, device=device)

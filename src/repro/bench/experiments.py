@@ -38,6 +38,7 @@ __all__ = [
     "list_streaming_experiments",
     "run_streaming",
     "run_streaming_experiment",
+    "run_service_experiment",
 ]
 
 
@@ -668,6 +669,125 @@ def run_streaming_experiment(
         stream_kwargs=dict(spec.stream_kwargs),
         spec_id=spec.id,
     )
+
+
+def run_service_experiment(
+    *,
+    num_tenants: int = 8,
+    num_chunks: int = 10,
+    chunk_size: int = 120,
+    window: int = 600,
+    eps: float = 0.35,
+    min_pts: int = 5,
+    skew: float = 1.0,
+    seed: int = 2023,
+    max_batch_chunks: int = 8,
+    max_queue_chunks: int = 32,
+) -> dict:
+    """Multi-tenant service throughput against a serial single-session baseline.
+
+    Replays one deterministic skewed ensemble (:func:`multi_tenant_feeds`)
+    two ways over identical engines:
+
+    * **serial** — one :class:`StreamingRTDBSCAN` per tenant consuming its
+      feed chunk by chunk, back to back (the no-service baseline);
+    * **service** — the same chunks interleaved across tenants through
+      :class:`~repro.service.service.ClusteringService`, so queued chunks
+      coalesce into micro-batched updates.
+
+    Besides wall/simulated time for both runs, the record carries the
+    batching factor (chunks per ``update()`` call) and a per-tenant parity
+    bit — service labels must stay bit-identical to the serial consume.
+    """
+    import asyncio
+    import time as _time
+
+    from ..api import ClustererSpec
+    from ..data.stream import interleave_feeds, multi_tenant_feeds
+    from ..service import ClusteringService, Request, ServiceConfig
+    from ..streaming import StreamingRTDBSCAN
+
+    feeds = multi_tenant_feeds(num_tenants, num_chunks, chunk_size,
+                               seed=seed, skew=skew)
+    total_chunks = sum(len(chunks) for chunks in feeds.values())
+    total_points = sum(c.shape[0] for chunks in feeds.values() for c in chunks)
+
+    t0 = _time.perf_counter()
+    serial_results: dict = {}
+    serial_sim = 0.0
+    serial_updates = 0
+    for tenant, chunks in feeds.items():
+        with StreamingRTDBSCAN(eps=eps, min_pts=min_pts, window=window) as engine:
+            engine.consume(chunks)
+            serial_results[tenant] = engine.result()
+            summary = engine.summary()
+        serial_sim += summary["total_simulated_seconds"]
+        serial_updates += summary["num_updates"]
+    serial_wall = _time.perf_counter() - t0
+
+    config = ServiceConfig(
+        spec=ClustererSpec(algo="streaming-rt-dbscan", eps=eps, min_pts=min_pts,
+                           params={"window": window}),
+        max_batch_chunks=max_batch_chunks,
+        max_queue_chunks=max_queue_chunks,
+        session_ttl_s=None,
+    )
+
+    async def drive() -> tuple[dict, dict]:
+        async with ClusteringService(config) as service:
+            for tenant, chunk in interleave_feeds(feeds, seed=seed):
+                while not (await service.submit(Request.ingest(tenant, chunk))).ok:
+                    await asyncio.sleep(0)
+            labels = {}
+            for tenant in feeds:
+                resp = await service.submit(Request.query_labels(tenant))
+                labels[tenant] = resp.body
+            stats = (await service.submit(Request.stats())).body
+        return labels, stats
+
+    t0 = _time.perf_counter()
+    labels, stats = asyncio.run(drive())
+    service_wall = _time.perf_counter() - t0
+
+    labels_match = all(
+        labels[t]["labels"] == serial_results[t].labels.tolist()
+        and labels[t]["core_mask"] == serial_results[t].core_mask.tolist()
+        for t in feeds
+    )
+    tenant_stats = stats["sessions"]["tenants"]
+    service_sim = sum(
+        s["engine"]["total_simulated_seconds"] for s in tenant_stats.values()
+    )
+    batches = stats["service"]["batches"]
+
+    return {
+        "num_tenants": num_tenants,
+        "num_chunks_per_tenant": num_chunks,
+        "chunk_size": chunk_size,
+        "window": window,
+        "skew": skew,
+        "eps": float(eps),
+        "min_pts": int(min_pts),
+        "total_chunks": total_chunks,
+        "total_points": total_points,
+        "labels_match": bool(labels_match),
+        "serial": {
+            "wall_seconds": serial_wall,
+            "simulated_seconds": serial_sim,
+            "updates": serial_updates,
+            "points_per_wall_second": total_points / max(serial_wall, 1e-9),
+        },
+        "service": {
+            "wall_seconds": service_wall,
+            "simulated_seconds": service_sim,
+            "updates": batches,
+            "chunks_ingested": stats["service"]["chunks_ingested"],
+            "points_per_wall_second": total_points / max(service_wall, 1e-9),
+        },
+        "batching_factor": total_chunks / max(batches, 1),
+        "wall_speedup_vs_serial": serial_wall / max(service_wall, 1e-9),
+        "simulated_speedup_vs_serial": serial_sim / max(service_sim, 1e-9),
+    }
 
 
 # -------------------------------------------------------------------------- #

@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``rt-dbscan cluster``     — run any registered DBSCAN variant on a CSV file
   or a named synthetic dataset and print (or save) the labels;
 * ``rt-dbscan stream``      — run the streaming engine over a synthetic
   point stream (sliding window, refit-aware scene maintenance) and print
   per-chunk progress plus throughput totals;
+* ``rt-dbscan serve``       — start the multi-tenant streaming clustering
+  service: one session per tenant/feed behind a JSON-lines TCP front-end
+  with micro-batching, backpressure and idle-session eviction;
 * ``rt-dbscan experiment``  — regenerate one of the paper's tables/figures
   (by experiment id, see ``rt-dbscan list``) and print the report;
 * ``rt-dbscan list``        — list available datasets, streams, algorithms,
@@ -76,6 +79,35 @@ STREAM_EPILOG = textwrap.dedent(
     experiments use.  Omitting --window grows the window without bound
     (no evictions), in which case the final labels are identical to batch
     rt-dbscan on the concatenated stream.
+    """
+)
+
+SERVE_EPILOG = textwrap.dedent(
+    """\
+    examples:
+      # serve on the default port; every tenant gets its own sliding-window
+      # streaming session (created on first ingest, evicted after 5 idle min)
+      rt-dbscan serve --eps 0.3 --min-pts 5 --window 2000
+
+      # ephemeral port for scripts: the bound port is written to a file
+      rt-dbscan serve --eps 0.3 --min-pts 5 --port 0 --port-file port.txt
+
+      # CI smoke shape: stop after N requests instead of waiting for a
+      # {"op": "shutdown"} request
+      rt-dbscan serve --eps 0.3 --min-pts 5 --port 0 --max-requests 16
+
+    The wire protocol is one JSON object per line; ops are ingest,
+    query_labels, snapshot, evict, stats and shutdown, e.g.:
+
+      {"op": "ingest", "tenant": "feed-a", "points": [[0.1, 0.2], ...]}
+      {"op": "query_labels", "tenant": "feed-a"}
+      {"op": "stats"}
+
+    Ingest responses return as soon as the chunk is queued; a per-session
+    worker coalesces queued chunks into micro-batched update() calls
+    (labels are invariant to the coalescing).  A tenant that outruns its
+    queue budget gets {"status": "busy", "retry_after_s": ...} instead of
+    unbounded buffering.
     """
 )
 
@@ -183,6 +215,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--seed", type=int, default=2023, help="stream generator seed")
     p_stream.add_argument("--json", action="store_true",
                           help="print per-chunk records and totals as JSON")
+
+    # -- serve ------------------------------------------------------------ #
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the multi-tenant streaming clustering service (TCP/JSON-lines)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=SERVE_EPILOG,
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=7155,
+                         help="bind port; 0 picks a free ephemeral port (default 7155)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port number to this file once listening")
+    p_serve.add_argument("--max-requests", type=int, default=None,
+                         help="shut down after serving N requests (default: run until "
+                              "a shutdown request arrives)")
+    p_serve.add_argument("--eps", type=float, required=True,
+                         help="DBSCAN eps shared by every tenant session")
+    p_serve.add_argument("--min-pts", type=int, required=True, help="DBSCAN minPts")
+    p_serve.add_argument("--window", type=int, default=None,
+                         help="per-session sliding-window size in points "
+                              "(default: grow unbounded)")
+    p_serve.add_argument("--algo", default="streaming-rt-dbscan", metavar="NAME",
+                         help="session algorithm; must support partial_fit "
+                              "(default streaming-rt-dbscan)")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="session pool capacity (default 64); at capacity the "
+                              "least-recently-used idle session is evicted")
+    p_serve.add_argument("--session-ttl", type=float, default=300.0, metavar="SECONDS",
+                         help="evict sessions idle longer than this (default 300; "
+                              "0 disables TTL eviction)")
+    p_serve.add_argument("--max-queue-chunks", type=int, default=64,
+                         help="per-session pending-chunk budget before ingests get "
+                              "busy/retry-after backpressure (default 64)")
+    p_serve.add_argument("--max-batch-chunks", type=int, default=8,
+                         help="micro-batch coalescing cap per update() call (default 8)")
+    p_serve.add_argument("--no-presize", action="store_true",
+                         help="disable for_feed slot-buffer pre-sizing from the "
+                              "tenant's first chunk")
 
     # -- experiment ------------------------------------------------------ #
     p_exp = sub.add_parser("experiment", help="regenerate one of the paper's tables/figures")
@@ -326,6 +397,37 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the service layer (asyncio machinery) only loads for
+    # the subcommand that needs it.
+    from .service import ServiceConfig, run_server
+
+    params = {"window": args.window} if args.window is not None else {}
+    try:
+        config = ServiceConfig(
+            spec=ClustererSpec(algo=args.algo, eps=args.eps, min_pts=args.min_pts,
+                               params=params),
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl if args.session_ttl > 0 else None,
+            max_queue_chunks=args.max_queue_chunks,
+            max_batch_chunks=args.max_batch_chunks,
+            presize=not args.no_presize,
+        )
+        return run_server(
+            config,
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+            max_requests=args.max_requests,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.id)
     records = run_experiment(args.id, scale=args.scale, workers=args.workers)
@@ -399,6 +501,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "list":

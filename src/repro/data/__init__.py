@@ -17,8 +17,10 @@ from .stream import (
     burst_hotspot_stream,
     chunk_stream,
     drift_blob_stream,
+    interleave_feeds,
     list_streams,
     make_stream,
+    multi_tenant_feeds,
     ngsim_replay_stream,
 )
 from .synthetic import (
@@ -48,8 +50,10 @@ __all__ = [
     "burst_hotspot_stream",
     "chunk_stream",
     "drift_blob_stream",
+    "interleave_feeds",
     "list_streams",
     "make_stream",
+    "multi_tenant_feeds",
     "ngsim_replay_stream",
     "combine",
     "make_blobs",

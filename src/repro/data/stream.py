@@ -33,6 +33,8 @@ __all__ = [
     "STREAMS",
     "make_stream",
     "list_streams",
+    "multi_tenant_feeds",
+    "interleave_feeds",
 ]
 
 
@@ -149,3 +151,67 @@ def make_stream(
 def list_streams() -> list[str]:
     """Names of all registered streams."""
     return sorted(STREAMS)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-tenant feeds (the serving layer's workload shape).
+# --------------------------------------------------------------------------- #
+def multi_tenant_feeds(
+    num_tenants: int,
+    num_chunks: int,
+    chunk_size: int,
+    *,
+    seed: int = 0,
+    stream: str = "drift-blobs",
+    skew: float = 1.0,
+    min_chunk_size: int = 8,
+    **stream_kwargs,
+) -> dict[str, list[np.ndarray]]:
+    """Deterministic per-tenant chunk feeds with skewed arrival rates.
+
+    Materialises ``num_tenants`` independent feeds of the named stream shape,
+    one per tenant id ``"tenant-00" .. "tenant-NN"``.  Tenant ``t`` draws its
+    own generator seeded with ``seed + t`` (so feeds are decorrelated but the
+    whole ensemble is a pure function of ``seed``) and ingests at a Zipf-like
+    rate: its chunk size is ``chunk_size`` scaled by ``(t + 1) ** -skew``,
+    renormalised so the *mean* per-chunk arrival rate across tenants stays
+    ``chunk_size``.  ``skew=0`` gives uniform tenants; larger values
+    concentrate traffic on the first tenants — the hot-tenant/cold-tenant
+    imbalance the service layer's batching and backpressure must absorb.
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be a positive integer")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    weights = (np.arange(1, num_tenants + 1, dtype=np.float64)) ** (-float(skew))
+    weights *= num_tenants / weights.sum()
+    width = max(2, len(str(num_tenants - 1)))
+    feeds: dict[str, list[np.ndarray]] = {}
+    for t in range(num_tenants):
+        size = max(int(min_chunk_size), int(round(chunk_size * weights[t])))
+        chunks = list(
+            make_stream(stream, num_chunks, size, seed=seed + t, **stream_kwargs)
+        )
+        feeds[f"tenant-{t:0{width}d}"] = chunks
+    return feeds
+
+
+def interleave_feeds(
+    feeds: dict[str, list[np.ndarray]], *, seed: int = 0
+) -> Iterator[tuple[str, np.ndarray]]:
+    """Deterministically interleave per-tenant feeds into one arrival order.
+
+    Yields ``(tenant, chunk)`` pairs: each step picks uniformly among the
+    tenants that still have chunks left, so per-tenant chunk order is
+    preserved (a tenant's chunk *i* always arrives before its chunk *i+1*)
+    while the global arrival order mixes tenants — the schedule the service
+    concurrency tests replay against serial per-tenant baselines.
+    """
+    rng = np.random.default_rng(seed)
+    pending = {tenant: list(chunks) for tenant, chunks in feeds.items() if chunks}
+    order = sorted(pending)
+    while order:
+        tenant = order[int(rng.integers(len(order)))]
+        yield tenant, pending[tenant].pop(0)
+        if not pending[tenant]:
+            order.remove(tenant)

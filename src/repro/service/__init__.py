@@ -1,0 +1,54 @@
+"""Multi-tenant streaming clustering service (the serving shell).
+
+The layers below this package answer "how do I cluster one feed fast";
+:mod:`repro.service` answers "how do I serve many of them at once".  It
+wraps the estimator facade and :class:`~repro.streaming.engine.StreamingRTDBSCAN`
+in a long-lived asyncio service:
+
+* :mod:`repro.service.config`   — :class:`ServiceConfig`: the per-tenant
+  clusterer template plus pool/batching/backpressure policy;
+* :mod:`repro.service.protocol` — the typed ``ingest`` / ``query_labels`` /
+  ``snapshot`` / ``evict`` / ``stats`` / ``shutdown`` request–response
+  protocol and its JSON-lines framing;
+* :mod:`repro.service.session`  — per-tenant :class:`Session` workers with
+  bounded queues and micro-batched updates, pooled by the LRU/TTL
+  :class:`SessionManager`;
+* :mod:`repro.service.service`  — :class:`ClusteringService`, the in-process
+  ``await service.submit(...)`` front door;
+* :mod:`repro.service.metrics`  — per-tenant ingest rates, queue depths,
+  batch sizes, eviction counts and p50/p99 update latencies;
+* :mod:`repro.service.tcp`      — the stdlib TCP/JSON-lines front-end behind
+  the ``rt-dbscan serve`` CLI subcommand.
+
+Per-tenant outputs are bit-identical to a serial
+:meth:`~repro.streaming.engine.StreamingRTDBSCAN.consume` of the same feed:
+sessions serialise their own updates, and micro-batch coalescing preserves
+arrival order, which is the only thing the engine's labelling depends on.
+"""
+
+from .config import DEFAULT_SPEC, ServiceConfig
+from .metrics import LatencyWindow, ServiceMetrics, SessionMetrics
+from .protocol import OPS, ProtocolError, Request, Response, decode_line, encode_line
+from .service import ClusteringService
+from .session import CapacityError, Session, SessionManager
+from .tcp import TCPFrontend, run_server
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "ServiceConfig",
+    "LatencyWindow",
+    "ServiceMetrics",
+    "SessionMetrics",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "decode_line",
+    "encode_line",
+    "ClusteringService",
+    "CapacityError",
+    "Session",
+    "SessionManager",
+    "TCPFrontend",
+    "run_server",
+]

@@ -1,0 +1,175 @@
+"""Service observability: per-session and service-wide metrics.
+
+Every number the ``stats`` op exports lives here, kept deliberately
+allocation-light so metric upkeep never competes with the update path:
+counters are plain ints, and update latencies go into a fixed-size ring
+buffer per session (:class:`LatencyWindow`) from which p50/p99 are computed
+on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "SessionMetrics", "ServiceMetrics"]
+
+
+class LatencyWindow:
+    """Fixed-capacity ring buffer of wall latencies with percentile queries."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._buf = np.zeros(self.capacity, dtype=np.float64)
+        self._next = 0
+        self.count = 0  #: total observations ever (not just retained ones)
+
+    def observe(self, seconds: float) -> None:
+        self._buf[self._next] = seconds
+        self._next = (self._next + 1) % self.capacity
+        self.count += 1
+
+    def values(self) -> np.ndarray:
+        return self._buf[: min(self.count, self.capacity)]
+
+    def percentile(self, q: float) -> float:
+        vals = self.values()
+        return float(np.percentile(vals, q)) if vals.size else 0.0
+
+    def as_dict(self) -> dict:
+        vals = self.values()
+        return {
+            "count": self.count,
+            "p50_s": float(np.percentile(vals, 50)) if vals.size else 0.0,
+            "p99_s": float(np.percentile(vals, 99)) if vals.size else 0.0,
+            "mean_s": float(vals.mean()) if vals.size else 0.0,
+            "max_s": float(vals.max()) if vals.size else 0.0,
+        }
+
+
+class SessionMetrics:
+    """Ingest/batching/latency counters for one tenant session."""
+
+    def __init__(self, tenant: str, created_at: float, *, latency_window: int = 512) -> None:
+        self.tenant = tenant
+        self.created_at = created_at
+        self.last_active_at = created_at
+        self.chunks_accepted = 0
+        self.chunks_rejected = 0
+        self.chunks_ingested = 0
+        self.points_accepted = 0
+        self.points_ingested = 0
+        self.batches = 0
+        self.max_batch_chunks = 0
+        self.max_batch_points = 0
+        self.latency = LatencyWindow(latency_window)
+
+    # ------------------------------------------------------------------ #
+    def observe_accept(self, num_points: int, now: float) -> None:
+        self.chunks_accepted += 1
+        self.points_accepted += int(num_points)
+        self.last_active_at = now
+
+    def observe_reject(self, now: float) -> None:
+        self.chunks_rejected += 1
+        self.last_active_at = now
+
+    def observe_batch(self, num_chunks: int, num_points: int, wall_s: float, now: float) -> None:
+        self.batches += 1
+        self.chunks_ingested += int(num_chunks)
+        self.points_ingested += int(num_points)
+        self.max_batch_chunks = max(self.max_batch_chunks, int(num_chunks))
+        self.max_batch_points = max(self.max_batch_points, int(num_points))
+        self.latency.observe(wall_s)
+        self.last_active_at = now
+
+    def touch(self, now: float) -> None:
+        self.last_active_at = now
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_batch_chunks(self) -> float:
+        return self.chunks_ingested / self.batches if self.batches else 0.0
+
+    def ingest_rate(self, now: float) -> float:
+        """Points ingested per wall second since the session was created."""
+        elapsed = max(now - self.created_at, 1e-9)
+        return self.points_ingested / elapsed
+
+    def as_dict(self, now: float, *, queue_depth: int = 0, queued_points: int = 0) -> dict:
+        return {
+            "tenant": self.tenant,
+            "age_s": now - self.created_at,
+            "idle_s": now - self.last_active_at,
+            "queue_depth": int(queue_depth),
+            "queued_points": int(queued_points),
+            "chunks_accepted": self.chunks_accepted,
+            "chunks_rejected": self.chunks_rejected,
+            "chunks_ingested": self.chunks_ingested,
+            "points_ingested": self.points_ingested,
+            "ingest_rate_pts_per_s": self.ingest_rate(now),
+            "batches": self.batches,
+            "mean_batch_chunks": self.mean_batch_chunks,
+            "max_batch_chunks": self.max_batch_chunks,
+            "max_batch_points": self.max_batch_points,
+            "update_latency": self.latency.as_dict(),
+        }
+
+
+class ServiceMetrics:
+    """Service-wide counters aggregated across all sessions ever seen."""
+
+    def __init__(self) -> None:
+        self.started_at: float | None = None
+        self.requests: dict[str, int] = {}
+        self.errors = 0
+        self.sessions_created = 0
+        self.sessions_evicted: dict[str, int] = {}  # reason -> count
+        self.chunks_rejected = 0
+        self.chunks_ingested = 0
+        self.points_ingested = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------ #
+    def observe_request(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def observe_error(self) -> None:
+        self.errors += 1
+
+    def observe_session_created(self) -> None:
+        self.sessions_created += 1
+
+    def observe_eviction(self, reason: str) -> None:
+        self.sessions_evicted[reason] = self.sessions_evicted.get(reason, 0) + 1
+
+    def observe_reject(self) -> None:
+        self.chunks_rejected += 1
+
+    def observe_batch(self, num_chunks: int, num_points: int) -> None:
+        self.batches += 1
+        self.chunks_ingested += int(num_chunks)
+        self.points_ingested += int(num_points)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.sessions_evicted.values())
+
+    def as_dict(self, now: float) -> dict:
+        uptime = now - self.started_at if self.started_at is not None else 0.0
+        return {
+            "uptime_s": uptime,
+            "requests": dict(self.requests),
+            "errors": self.errors,
+            "sessions_created": self.sessions_created,
+            "sessions_evicted": dict(self.sessions_evicted),
+            "total_evictions": self.total_evictions,
+            "chunks_rejected": self.chunks_rejected,
+            "chunks_ingested": self.chunks_ingested,
+            "points_ingested": self.points_ingested,
+            "batches": self.batches,
+            "mean_batch_chunks": self.chunks_ingested / self.batches if self.batches else 0.0,
+            "ingest_rate_pts_per_s": self.points_ingested / uptime if uptime > 0 else 0.0,
+        }

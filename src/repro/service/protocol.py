@@ -1,0 +1,213 @@
+"""Typed request/response protocol of the clustering service.
+
+The same five-plus-one operations are served in-process (``await
+service.submit(request)``) and over the JSON-lines TCP front-end:
+
+=============== ======================================================
+op              effect
+=============== ======================================================
+``ingest``      enqueue one chunk of points for a tenant's session
+                (creates the session on first touch); replies as soon
+                as the chunk is *accepted*, so queued chunks coalesce
+                into micro-batches behind the ack
+``query_labels``drain the tenant's queue, then return the current
+                window labelling (labels, arrivals, core mask)
+``snapshot``    drain, then return the engine's full snapshot record
+``evict``       drain, tear the session down (``release()`` the scene)
+``stats``       service-level and per-tenant metrics
+``shutdown``    drain everything, tear all sessions down, stop the
+                server loop (admin op for the TCP front-end)
+=============== ======================================================
+
+Requests and responses are small frozen/plain dataclasses with
+``as_dict``/``from_dict`` round-trips; the wire format is one JSON object
+per line (UTF-8, ``\\n``-terminated), so any stdlib socket client can drive
+the service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "OPS",
+    "Request",
+    "Response",
+    "ProtocolError",
+    "encode_line",
+    "decode_line",
+]
+
+#: every operation the service understands.
+OPS = ("ingest", "query_labels", "snapshot", "evict", "stats", "shutdown")
+
+#: ops that address one tenant's session (and therefore require ``tenant``).
+_TENANT_OPS = frozenset({"ingest", "query_labels", "snapshot", "evict"})
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request (unknown op, missing fields, bad points)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation addressed to the service.
+
+    ``points`` is only meaningful (and required) for ``ingest``; ``tenant``
+    is required for every per-session op.  ``request_id`` is an opaque
+    client-chosen correlation token echoed back on the response.
+    """
+
+    op: str
+    tenant: str | None = None
+    points: np.ndarray | None = None
+    request_id: int | str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ProtocolError(f"unknown op {self.op!r}; valid ops: {list(OPS)}")
+        if self.op in _TENANT_OPS:
+            if not self.tenant or not isinstance(self.tenant, str):
+                raise ProtocolError(f"op {self.op!r} requires a tenant id")
+        if self.op == "ingest":
+            if self.points is None:
+                raise ProtocolError("op 'ingest' requires points")
+            pts = np.asarray(self.points, dtype=np.float64)
+            if pts.ndim != 2 or pts.shape[0] == 0 or pts.shape[1] not in (2, 3):
+                raise ProtocolError(
+                    "ingest points must be a non-empty (n, 2) or (n, 3) array, "
+                    f"got shape {pts.shape}"
+                )
+            if not np.isfinite(pts).all():
+                raise ProtocolError("ingest points must be finite")
+            object.__setattr__(self, "points", pts)
+        elif self.points is not None:
+            raise ProtocolError(f"op {self.op!r} does not accept points")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ingest(cls, tenant: str, points, *, request_id=None) -> "Request":
+        return cls(op="ingest", tenant=tenant, points=points, request_id=request_id)
+
+    @classmethod
+    def query_labels(cls, tenant: str, *, request_id=None) -> "Request":
+        return cls(op="query_labels", tenant=tenant, request_id=request_id)
+
+    @classmethod
+    def snapshot(cls, tenant: str, *, request_id=None) -> "Request":
+        return cls(op="snapshot", tenant=tenant, request_id=request_id)
+
+    @classmethod
+    def evict(cls, tenant: str, *, request_id=None) -> "Request":
+        return cls(op="evict", tenant=tenant, request_id=request_id)
+
+    @classmethod
+    def stats(cls, *, request_id=None) -> "Request":
+        return cls(op="stats", request_id=request_id)
+
+    @classmethod
+    def shutdown(cls, *, request_id=None) -> "Request":
+        return cls(op="shutdown", request_id=request_id)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Request":
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - {"op", "tenant", "points", "request_id"}
+        if unknown:
+            raise ProtocolError(f"unknown request fields {sorted(unknown)}")
+        if "op" not in payload:
+            raise ProtocolError("request is missing the 'op' field")
+        return cls(
+            op=payload["op"],
+            tenant=payload.get("tenant"),
+            points=payload.get("points"),
+            request_id=payload.get("request_id"),
+        )
+
+    def as_dict(self) -> dict:
+        payload: dict = {"op": self.op}
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        if self.points is not None:
+            payload["points"] = np.asarray(self.points, dtype=np.float64).tolist()
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+
+@dataclass
+class Response:
+    """Outcome of one request.
+
+    ``status`` is ``"ok"``, ``"busy"`` (backpressure: retry after
+    ``retry_after_s`` seconds) or ``"error"`` (``error`` carries the
+    message).  ``body`` is the op-specific payload, already JSON-friendly.
+    """
+
+    status: str
+    op: str
+    tenant: str | None = None
+    body: dict = field(default_factory=dict)
+    error: str | None = None
+    retry_after_s: float | None = None
+    request_id: int | str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def busy(self) -> bool:
+        return self.status == "busy"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Response":
+        return cls(
+            status=payload["status"],
+            op=payload.get("op", ""),
+            tenant=payload.get("tenant"),
+            body=payload.get("body", {}) or {},
+            error=payload.get("error"),
+            retry_after_s=payload.get("retry_after_s"),
+            request_id=payload.get("request_id"),
+        )
+
+    def as_dict(self) -> dict:
+        payload: dict = {"status": self.status, "op": self.op}
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        if self.body:
+            payload["body"] = self.body
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = self.retry_after_s
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+
+# --------------------------------------------------------------------------- #
+# JSON-lines framing (shared by the TCP server and its clients).
+# --------------------------------------------------------------------------- #
+def encode_line(payload: dict) -> bytes:
+    """Encode one protocol object as a ``\\n``-terminated JSON line."""
+    return json.dumps(payload, separators=(",", ":"), default=float).encode() + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Decode one JSON line; raises :class:`ProtocolError` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("protocol line must decode to a JSON object")
+    return payload

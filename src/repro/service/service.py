@@ -1,0 +1,256 @@
+"""The asyncio multi-tenant clustering service.
+
+:class:`ClusteringService` multiplexes many concurrent streaming scenes —
+one :class:`~repro.service.session.Session` per tenant/feed — behind the
+typed request protocol:
+
+* ``ingest`` acks as soon as the chunk is accepted into the tenant's bounded
+  queue; a per-session worker coroutine coalesces queued chunks into
+  micro-batched ``update()`` calls, so a bursty tenant pays one scene commit
+  per batch instead of one per chunk (the labelling is invariant to the
+  coalescing — only arrival order matters);
+* a full queue (or a full session pool with no idle victim) answers ``busy``
+  with a ``retry_after_s`` hint — backpressure instead of unbounded memory;
+* reads (``query_labels`` / ``snapshot``) drain the tenant's queue first, so
+  they always observe every previously-acked chunk;
+* a sweeper task evicts sessions idle past the TTL, and every teardown path
+  (TTL, LRU capacity eviction, explicit ``evict``, shutdown) funnels through
+  the engine's idempotent ``release()`` exactly once, reclaiming the
+  slot-buffer scene.
+
+The service is usable in-process::
+
+    async with ClusteringService(config) as service:
+        resp = await service.submit(Request.ingest("tenant-a", chunk))
+
+or over the JSON-lines TCP front-end in :mod:`repro.service.tcp`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from .config import ServiceConfig
+from .protocol import Request, Response
+from .session import CapacityError, Session, SessionManager
+
+__all__ = ["ClusteringService"]
+
+
+class ClusteringService:
+    """Session-pooled, micro-batching front door to the streaming engines.
+
+    Parameters
+    ----------
+    config:
+        Pool/batching/backpressure policy plus the per-tenant clusterer
+        template (default :data:`~repro.service.config.DEFAULT_SPEC`).
+    clock:
+        Monotonic time source; injectable so TTL-eviction tests can drive
+        time explicitly.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self.sessions = SessionManager(self.config, clock=clock)
+        self.metrics = self.sessions.metrics
+        self._workers: dict[str, asyncio.Task] = {}
+        self._sweeper: asyncio.Task | None = None
+        self._started = False
+        self._closed = False
+        #: set once a ``shutdown`` request lands; the TCP server awaits it.
+        self.shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ClusteringService":
+        """Start the background sweeper (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.metrics.started_at = self._clock()
+            if self.config.session_ttl_s is not None:
+                self._sweeper = asyncio.create_task(self._sweep_loop())
+        return self
+
+    async def __aenter__(self) -> "ClusteringService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Drain every session, tear all of them down, stop the sweeper."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        for tenant in self.sessions.tenants():
+            session = self.sessions.get(tenant, touch=False)
+            if session is not None:
+                await session.drain()
+        for tenant in list(self._workers):
+            await self._stop_worker(tenant)
+        self.sessions.close_all()
+        self.shutdown_event.set()
+
+    # ------------------------------------------------------------------ #
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.sweep_interval_s)
+            await self.sweep()
+
+    async def sweep(self) -> list[str]:
+        """One TTL-eviction pass; returns the evicted tenant ids."""
+        evicted = self.sessions.sweep(self._clock())
+        for session in evicted:
+            await self._stop_worker(session.tenant)
+        return [s.tenant for s in evicted]
+
+    async def _stop_worker(self, tenant: str) -> None:
+        task = self._workers.pop(tenant, None)
+        if task is None:
+            return
+        session = self.sessions.get(tenant, touch=False)
+        if session is not None:
+            await session.stop()
+            await task
+        else:
+            # Session already gone (evicted): the worker sees the stop flag.
+            if not task.done():
+                task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: Request | dict) -> Response:
+        """Serve one request; never raises for protocol-level failures."""
+        if isinstance(request, dict):
+            try:
+                request = Request.from_dict(request)
+            except Exception as exc:
+                self.metrics.observe_error()
+                return Response(status="error", op=str(request.get("op", "?")),
+                                error=str(exc), request_id=request.get("request_id"))
+        if self._closed:
+            return self._error(request, "service is shut down")
+        await self.start()
+        self.metrics.observe_request(request.op)
+        handler = getattr(self, f"_op_{request.op}")
+        try:
+            return await handler(request)
+        except Exception as exc:  # defensive: one bad request must not kill the loop
+            self.metrics.observe_error()
+            return self._error(request, f"{type(exc).__name__}: {exc}")
+
+    def _error(self, request: Request, message: str) -> Response:
+        return Response(status="error", op=request.op, tenant=request.tenant,
+                        error=message, request_id=request.request_id)
+
+    def _busy(self, request: Request, message: str) -> Response:
+        return Response(
+            status="busy", op=request.op, tenant=request.tenant, error=message,
+            retry_after_s=self.config.retry_after_s, request_id=request.request_id,
+        )
+
+    def _require_session(self, request: Request) -> Session | None:
+        return self.sessions.get(request.tenant)
+
+    # ------------------------------------------------------------------ #
+    async def _op_ingest(self, request: Request) -> Response:
+        try:
+            session, created = self.sessions.get_or_create(
+                request.tenant, first_chunk=request.points
+            )
+        except CapacityError as exc:
+            self.metrics.observe_reject()
+            return self._busy(request, str(exc))
+        if created:
+            # Creating at capacity may have LRU-evicted an idle session from
+            # the pool; reap any worker whose session is gone before the new
+            # one starts.
+            for stale in [t for t in self._workers if t not in self.sessions]:
+                await self._stop_worker(stale)
+            self._workers[request.tenant] = asyncio.create_task(session.run())
+        accepted = await session.enqueue(request.points)
+        if not accepted:
+            self.metrics.observe_reject()
+            return self._busy(
+                request,
+                f"queue full ({self.config.max_queue_chunks} chunks pending)",
+            )
+        return Response(
+            status="ok", op="ingest", tenant=request.tenant,
+            body={
+                "accepted_points": int(request.points.shape[0]),
+                "session_created": created,
+                "queue_depth": session.queue_depth,
+            },
+            request_id=request.request_id,
+        )
+
+    async def _op_query_labels(self, request: Request) -> Response:
+        session = self._require_session(request)
+        if session is None:
+            return self._error(request, f"unknown tenant {request.tenant!r}")
+        await session.drain()
+        result = session.engine.result()
+        body = {
+            "labels": result.labels.tolist(),
+            "core_mask": result.core_mask.tolist(),
+            "window_arrivals": result.extra["window_arrivals"].tolist(),
+            "num_clusters": int(result.num_clusters),
+            "num_noise": int(result.num_noise),
+            "window_size": int(result.labels.shape[0]),
+        }
+        return Response(status="ok", op="query_labels", tenant=request.tenant,
+                        body=body, request_id=request.request_id)
+
+    async def _op_snapshot(self, request: Request) -> Response:
+        session = self._require_session(request)
+        if session is None:
+            return self._error(request, f"unknown tenant {request.tenant!r}")
+        await session.drain()
+        return Response(status="ok", op="snapshot", tenant=request.tenant,
+                        body=session.engine.snapshot(), request_id=request.request_id)
+
+    async def _op_evict(self, request: Request) -> Response:
+        session = self.sessions.get(request.tenant, touch=False)
+        if session is None:
+            return Response(status="ok", op="evict", tenant=request.tenant,
+                            body={"evicted": False}, request_id=request.request_id)
+        await session.drain()
+        await self._stop_worker(request.tenant)
+        self.sessions.evict(request.tenant, reason="explicit")
+        return Response(status="ok", op="evict", tenant=request.tenant,
+                        body={"evicted": True}, request_id=request.request_id)
+
+    async def _op_stats(self, request: Request) -> Response:
+        now = self._clock()
+        body = {
+            "service": self.metrics.as_dict(now),
+            "sessions": self.sessions.stats(now),
+            "config": self.config.as_dict(),
+        }
+        return Response(status="ok", op="stats", body=body,
+                        request_id=request.request_id)
+
+    async def _op_shutdown(self, request: Request) -> Response:
+        await self.aclose()
+        return Response(status="ok", op="shutdown",
+                        body={"sessions_evicted": self.metrics.total_evictions},
+                        request_id=request.request_id)

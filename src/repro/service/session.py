@@ -1,0 +1,327 @@
+"""Tenant sessions and the LRU/TTL session pool.
+
+A :class:`Session` owns one streaming engine plus a bounded queue of pending
+chunks; its :meth:`Session.run` coroutine is the *only* place the engine is
+touched, so per-tenant updates are strictly serialised (which is what makes
+service labels bit-identical to a serial ``consume()`` of the same feed)
+while different tenants' workers interleave freely on the event loop.
+
+The :class:`SessionManager` is the pool above the sessions: tenant → session
+lookup in LRU order, capacity-cap enforcement (evict the least-recently-used
+*idle* session to make room, otherwise signal capacity backpressure), TTL
+sweeps over idle sessions, and the exactly-once teardown path — every
+eviction route funnels through :meth:`SessionManager.evict`, which calls the
+engine's idempotent ``release()`` so slot-buffer scenes are reclaimed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from typing import Callable
+
+import numpy as np
+
+from ..api.registry import make_streaming_clusterer
+from .config import ServiceConfig
+from .metrics import ServiceMetrics, SessionMetrics
+
+__all__ = ["Session", "SessionManager", "CapacityError"]
+
+
+class CapacityError(RuntimeError):
+    """The session pool is full and no idle session can be evicted."""
+
+
+class Session:
+    """One tenant's streaming engine behind a bounded micro-batching queue."""
+
+    def __init__(
+        self,
+        tenant: str,
+        engine,
+        config: ServiceConfig,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        service_metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.tenant = tenant
+        self.engine = engine
+        self.config = config
+        self._clock = clock
+        self.metrics = SessionMetrics(tenant, clock(), latency_window=config.latency_window)
+        self._service_metrics = service_metrics
+
+        # Never coalesce past the engine's sliding window: an update larger
+        # than the window truncates to its newest points, which would skip
+        # arrival numbers the serial per-chunk feed assigns — breaking the
+        # bit-identity guarantee.  (A single oversized chunk still passes
+        # through untouched; serial consume truncates it identically.)
+        window = getattr(engine, "window", None)
+        self._max_batch_points = config.max_batch_points
+        if window is not None:
+            self._max_batch_points = min(self._max_batch_points, int(window))
+
+        self._queue: deque[np.ndarray] = deque()
+        self._queued_points = 0
+        self._cond = asyncio.Condition()
+        self._busy = False
+        self._stopping = False
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_points(self) -> int:
+        return self._queued_points
+
+    @property
+    def idle(self) -> bool:
+        """No queued work and no update in flight."""
+        return not self._queue and not self._busy
+
+    def idle_for(self, now: float) -> float:
+        return now - self.metrics.last_active_at
+
+    # ------------------------------------------------------------------ #
+    async def enqueue(self, chunk: np.ndarray) -> bool:
+        """Accept one chunk, or refuse it when the queue budget is spent.
+
+        Returns True when the chunk was queued; False signals backpressure
+        (the caller should reply ``busy`` with the config's retry hint).
+        """
+        now = self._clock()
+        if self._stopping or self.closed:
+            return False
+        if len(self._queue) >= self.config.max_queue_chunks:
+            self.metrics.observe_reject(now)
+            return False
+        async with self._cond:
+            self._queue.append(chunk)
+            self._queued_points += int(chunk.shape[0])
+            self.metrics.observe_accept(chunk.shape[0], now)
+            self._cond.notify_all()
+        return True
+
+    def _take_batch(self) -> list[np.ndarray]:
+        """Pop the next micro-batch (≥1 chunk, capped by the batch budgets)."""
+        batch: list[np.ndarray] = [self._queue.popleft()]
+        points = batch[0].shape[0]
+        while (
+            self._queue
+            and len(batch) < self.config.max_batch_chunks
+            and points + self._queue[0].shape[0] <= self._max_batch_points
+        ):
+            points += self._queue[0].shape[0]
+            batch.append(self._queue.popleft())
+        self._queued_points -= points
+        return batch
+
+    async def run(self) -> None:
+        """Worker loop: drain the queue in micro-batches, one update each.
+
+        Chunks queued behind the in-flight update coalesce into the next
+        batch — one ``np.vstack`` + one ``engine.update()`` call — which is
+        exactly as many points in the same arrival order as the serial
+        per-chunk feed, so the labelling is unchanged while per-point
+        overhead (scene commits, launches, bookkeeping) is amortised.
+        """
+        while True:
+            async with self._cond:
+                while not self._queue and not self._stopping:
+                    await self._cond.wait()
+                if self._stopping and not self._queue:
+                    return
+                batch = self._take_batch()
+                self._busy = True
+            try:
+                points = batch[0] if len(batch) == 1 else np.vstack(batch)
+                t0 = time.perf_counter()
+                self._update(points)
+                wall = time.perf_counter() - t0
+                self.metrics.observe_batch(len(batch), points.shape[0], wall, self._clock())
+                if self._service_metrics is not None:
+                    self._service_metrics.observe_batch(len(batch), points.shape[0])
+            finally:
+                async with self._cond:
+                    self._busy = False
+                    self._cond.notify_all()
+            # Yield so other sessions' workers interleave between batches.
+            await asyncio.sleep(0)
+
+    def _update(self, points: np.ndarray) -> None:
+        update = getattr(self.engine, "update", None)
+        if update is not None:
+            update(points)
+        else:
+            self.engine.partial_fit(points)
+
+    async def drain(self) -> None:
+        """Wait until every accepted chunk has been folded into the engine."""
+        async with self._cond:
+            while self._queue or self._busy:
+                await self._cond.wait()
+
+    async def stop(self) -> None:
+        """Ask the worker to exit once the queue is empty."""
+        async with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the engine (idempotent; the pool's teardown endpoint)."""
+        if self.closed:
+            return
+        self.closed = True
+        release = getattr(self.engine, "release", None)
+        if release is not None:
+            release()
+
+    def stats(self, now: float | None = None) -> dict:
+        now = self._clock() if now is None else now
+        payload = self.metrics.as_dict(
+            now, queue_depth=self.queue_depth, queued_points=self._queued_points
+        )
+        summary = getattr(self.engine, "summary", None)
+        if summary is not None:
+            payload["engine"] = summary()
+        return payload
+
+
+class SessionManager:
+    """LRU-ordered pool of tenant sessions with capacity and TTL policies."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self.metrics = metrics or ServiceMetrics()
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        # Fail fast on a batch-only template (instead of at first ingest):
+        # resolve() also validates backend/knob consistency.
+        entry, _ = config.spec.resolve()
+        if not entry.supports_partial_fit:
+            raise ValueError(
+                f"service spec algorithm {entry.name!r} does not support "
+                "partial_fit; use a streaming-capable algorithm"
+            )
+        self._engine_entry = entry
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._sessions
+
+    def tenants(self) -> list[str]:
+        return list(self._sessions)
+
+    def get(self, tenant: str, *, touch: bool = True) -> Session | None:
+        session = self._sessions.get(tenant)
+        if session is not None and touch:
+            self._sessions.move_to_end(tenant)
+            session.metrics.touch(self._clock())
+        return session
+
+    # ------------------------------------------------------------------ #
+    def _build_engine(self, first_chunk: np.ndarray | None):
+        spec = self.config.spec
+        if (
+            self.config.presize
+            and first_chunk is not None
+            and self._engine_entry.name == "streaming-rt-dbscan"
+        ):
+            from ..streaming.engine import StreamingRTDBSCAN
+
+            # The first chunk stands in for the feed's extent/density sample;
+            # for_feed sizes the slot buffer from the tiler occupancy bound so
+            # a steady feed never pays a growth-forced rebuild.  A feed that
+            # outgrows the estimate just falls back to geometric growth.
+            params = dict(spec.params)
+            return StreamingRTDBSCAN.for_feed(
+                first_chunk,
+                spec.eps,
+                spec.min_pts,
+                window=params.pop("window", None),
+                chunk_size=max(1, first_chunk.shape[0]),
+                **params,
+            )
+        return make_streaming_clusterer(spec)
+
+    def get_or_create(
+        self, tenant: str, *, first_chunk: np.ndarray | None = None
+    ) -> tuple[Session, bool]:
+        """The tenant's session, creating (and possibly evicting) as needed.
+
+        Returns ``(session, created)``.  At capacity, the least-recently-used
+        *idle* session is evicted to make room; when every session has work
+        in flight, :class:`CapacityError` is raised and the service turns it
+        into capacity backpressure (a ``busy`` response).
+        """
+        session = self.get(tenant)
+        if session is not None:
+            return session, False
+        if len(self._sessions) >= self.config.max_sessions:
+            victim = next(
+                (t for t, s in self._sessions.items() if s.idle), None
+            )
+            if victim is None:
+                raise CapacityError(
+                    f"session pool is full ({self.config.max_sessions} busy sessions)"
+                )
+            self.evict(victim, reason="lru")
+        session = Session(tenant, self._build_engine(first_chunk), self.config,
+                          clock=self._clock, service_metrics=self.metrics)
+        self._sessions[tenant] = session
+        self.metrics.observe_session_created()
+        return session, True
+
+    # ------------------------------------------------------------------ #
+    def evict(self, tenant: str, *, reason: str = "explicit") -> Session | None:
+        """Remove and close a session; returns it (already released) or None."""
+        session = self._sessions.pop(tenant, None)
+        if session is None:
+            return None
+        session.close()
+        self.metrics.observe_eviction(reason)
+        return session
+
+    def sweep(self, now: float | None = None) -> list[Session]:
+        """Evict every idle session older than the TTL; returns the evicted."""
+        ttl = self.config.session_ttl_s
+        if ttl is None:
+            return []
+        now = self._clock() if now is None else now
+        expired = [
+            tenant
+            for tenant, session in self._sessions.items()
+            if session.idle and session.idle_for(now) > ttl
+        ]
+        return [self.evict(tenant, reason="ttl") for tenant in expired]
+
+    def close_all(self, *, reason: str = "shutdown") -> list[Session]:
+        """Evict every session (shutdown path)."""
+        return [self.evict(tenant, reason=reason) for tenant in list(self._sessions)]
+
+    # ------------------------------------------------------------------ #
+    def stats(self, now: float | None = None) -> dict:
+        now = self._clock() if now is None else now
+        return {
+            "num_sessions": len(self._sessions),
+            "max_sessions": self.config.max_sessions,
+            "tenants": {
+                tenant: session.stats(now)
+                for tenant, session in self._sessions.items()
+            },
+        }

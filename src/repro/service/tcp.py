@@ -1,0 +1,162 @@
+"""Thin stdlib TCP/JSON-lines front-end over :class:`ClusteringService`.
+
+One request per line, one response per line — the framing is plain enough
+that a shell one-liner can drive the service::
+
+    printf '%s\n' '{"op":"ingest","tenant":"a","points":[[0,0],[0.1,0]]}' \
+        '{"op":"stats"}' | nc 127.0.0.1 7155
+
+The server is a single :func:`asyncio.start_server` loop sharing the event
+loop with the session workers, so no extra threads or processes are
+involved; a ``shutdown`` request (or reaching ``max_requests``, used by the
+CI smoke test) drains and tears down every session before the listener
+closes.  :func:`run_server` is the synchronous convenience the ``rt-dbscan
+serve`` CLI subcommand calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from .config import ServiceConfig
+from .protocol import ProtocolError, Request, Response, decode_line, encode_line
+from .service import ClusteringService
+
+__all__ = ["TCPFrontend", "run_server"]
+
+
+class TCPFrontend:
+    """JSON-lines listener bound to one :class:`ClusteringService`.
+
+    Parameters
+    ----------
+    service:
+        The service to expose (started lazily on first request).
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port, exposed via
+        :attr:`port` after :meth:`start` (and via ``port_file``).
+    port_file:
+        Optional path that receives the bound port number once listening —
+        how test/CI drivers starting the server in the background learn
+        where to connect without racing on stdout.
+    max_requests:
+        Stop serving (with a full service shutdown) after this many
+        requests; ``None`` serves until a ``shutdown`` request arrives.
+    """
+
+    def __init__(
+        self,
+        service: ClusteringService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        port_file: str | Path | None = None,
+        max_requests: int | None = None,
+    ) -> None:
+        if max_requests is not None and max_requests < 1:
+            raise ValueError("max_requests must be a positive integer or None")
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.port_file = Path(port_file) if port_file else None
+        self.max_requests = max_requests
+        self.requests_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._done = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "TCPFrontend":
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.port_file is not None:
+            self.port_file.write_text(f"{self.port}\n")
+        return self
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._done.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._serve_line(line)
+                writer.write(encode_line(response.as_dict()))
+                await writer.drain()
+                if response.op == "shutdown" or (
+                    self.max_requests is not None
+                    and self.requests_served >= self.max_requests
+                ):
+                    if response.op != "shutdown":
+                        await self.service.aclose()
+                    self._done.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_line(self, line: bytes) -> Response:
+        self.requests_served += 1
+        try:
+            request = Request.from_dict(decode_line(line))
+        except ProtocolError as exc:
+            self.service.metrics.observe_error()
+            return Response(status="error", op="?", error=str(exc))
+        return await self.service.submit(request)
+
+    # ------------------------------------------------------------------ #
+    async def wait_closed(self) -> None:
+        """Serve until shutdown/max_requests, then close the listener."""
+        await self._done.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._done.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+
+def run_server(
+    config: ServiceConfig | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    port_file: str | Path | None = None,
+    max_requests: int | None = None,
+    announce=print,
+) -> int:
+    """Run the TCP front-end until shutdown (the CLI entry point).
+
+    Blocks the calling thread inside ``asyncio.run``; returns 0 on a clean
+    shutdown.  ``announce`` receives the human-readable "serving on
+    host:port" line (injectable for tests).
+    """
+
+    async def _main() -> None:
+        frontend = TCPFrontend(
+            ClusteringService(config),
+            host=host, port=port, port_file=port_file, max_requests=max_requests,
+        )
+        await frontend.start()
+        announce(f"rt-dbscan service listening on {frontend.host}:{frontend.port}")
+        try:
+            await frontend.wait_closed()
+        finally:
+            await frontend.aclose()
+        announce(
+            f"rt-dbscan service stopped after {frontend.requests_served} request(s)"
+        )
+
+    asyncio.run(_main())
+    return 0

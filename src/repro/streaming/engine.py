@@ -198,6 +198,12 @@ class StreamingRTDBSCAN(ClustererMixin):
         self.total_wall_seconds = 0.0
         self._last_report: ExecutionReport | None = None
 
+        #: lifecycle state: ``release()`` is idempotent, and every *effective*
+        #: release (one that actually freed the scene) is counted so session
+        #: owners can assert the exactly-once teardown contract.
+        self.num_releases = 0
+        self._released = False
+
     # ------------------------------------------------------------------ #
     @classmethod
     def for_feed(
@@ -329,6 +335,10 @@ class StreamingRTDBSCAN(ClustererMixin):
             if k or evict_slots.size:
                 accel_action, accel_seconds, accel_counts = self.scene.commit(self.policy)
                 counts.merge(accel_counts)
+                # Ingesting after release() transparently rebuilds the scene
+                # (commit sees the invalidated structure), so the engine is
+                # live again and a later teardown must release it again.
+                self._released = False
         # The accel time comes from the device's build/refit estimate, not
         # from the recorded counts (mirrors the batch bvh_build phase).
         timer.set_last_phase_seconds(accel_seconds)
@@ -562,6 +572,50 @@ class StreamingRTDBSCAN(ClustererMixin):
             "scene": self.scene.summary(),
         }
 
+    def snapshot(self) -> dict:
+        """A JSON-friendly snapshot of the current window state.
+
+        Bundles the window labelling with the engine's running totals — the
+        payload the service layer's ``snapshot`` op returns, and a convenient
+        checkpoint record for callers persisting per-feed state.  Arrays come
+        back as plain lists so the snapshot serialises directly.
+        """
+        win = self._window_slots()
+        labels, core_mask = self._window_labels(win)
+        return {
+            "window_size": int(win.size),
+            "num_clusters": int((np.unique(labels) >= 0).sum()),
+            "num_noise": int((labels == NOISE).sum()),
+            "labels": labels.tolist(),
+            "core_mask": core_mask.tolist(),
+            "window_arrivals": self._arrival[win].tolist(),
+            "released": self._released,
+            "summary": self.summary(),
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def released(self) -> bool:
+        """True while the device-side scene is freed (see :meth:`release`)."""
+        return self._released
+
     def release(self) -> None:
-        """Free the device-side scene."""
+        """Free the device-side scene (idempotent).
+
+        Repeated calls are no-ops: only the first call after the engine last
+        touched the scene frees anything, and :attr:`num_releases` counts
+        those effective releases — which is how the service layer's tests
+        assert that eviction and shutdown tear a session down *exactly once*.
+        Ingesting again after a release transparently rebuilds the scene.
+        """
+        if self._released:
+            return
         self.scene.release()
+        self._released = True
+        self.num_releases += 1
+
+    def __enter__(self) -> "StreamingRTDBSCAN":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -58,3 +58,55 @@ def random_points_2d(rng) -> np.ndarray:
 @pytest.fixture(scope="session")
 def random_points_3d(rng) -> np.ndarray:
     return rng.uniform(-5.0, 5.0, size=(400, 3))
+
+
+# --------------------------------------------------------------------------- #
+# Service-layer fixtures (tests/service/).  The service is asyncio-based but
+# the suite runs plain pytest, so every test drives its coroutine through the
+# ``run`` fixture (a fresh event loop per test — no pytest-asyncio
+# dependency).  ``FakeClock`` replaces ``time.monotonic`` in TTL/eviction
+# tests so idle time is advanced explicitly rather than slept.  These live in
+# the top-level conftest because pytest imports same-named ``conftest``
+# modules from rootdir-anchored test trees into one namespace.
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _make_service_config(**overrides):
+    """A small, fast service config for tests (sliding window of 300)."""
+    from repro.api import ClustererSpec
+    from repro.service import ServiceConfig
+
+    spec = overrides.pop(
+        "spec",
+        ClustererSpec(algo="streaming-rt-dbscan", eps=0.4, min_pts=5,
+                      params={"window": 300}),
+    )
+    return ServiceConfig(spec=spec, **overrides)
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def run():
+    """Run one coroutine to completion on a fresh event loop."""
+    import asyncio
+
+    return asyncio.run
+
+
+@pytest.fixture
+def make_config():
+    return _make_service_config

@@ -1,0 +1,103 @@
+"""Protocol layer: request/response validation and JSON-lines framing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (
+    OPS,
+    ProtocolError,
+    Request,
+    Response,
+    decode_line,
+    encode_line,
+)
+
+
+class TestRequestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            Request(op="frobnicate")
+
+    @pytest.mark.parametrize("op", ["ingest", "query_labels", "snapshot", "evict"])
+    def test_tenant_ops_require_tenant(self, op):
+        points = [[0.0, 0.0]] if op == "ingest" else None
+        with pytest.raises(ProtocolError, match="requires a tenant"):
+            Request(op=op, points=points)
+
+    def test_ingest_requires_points(self):
+        with pytest.raises(ProtocolError, match="requires points"):
+            Request(op="ingest", tenant="a")
+
+    @pytest.mark.parametrize(
+        "points",
+        [[], [[0.0]], [[0.0, 0.0, 0.0, 0.0]], [[np.nan, 0.0]], [[np.inf, 1.0]]],
+    )
+    def test_ingest_rejects_bad_points(self, points):
+        with pytest.raises(ProtocolError):
+            Request(op="ingest", tenant="a", points=points)
+
+    def test_ingest_coerces_points_to_float64_array(self):
+        req = Request.ingest("a", [[1, 2], [3, 4]])
+        assert isinstance(req.points, np.ndarray)
+        assert req.points.dtype == np.float64
+        assert req.points.shape == (2, 2)
+
+    @pytest.mark.parametrize("op", ["query_labels", "stats", "shutdown", "evict"])
+    def test_non_ingest_ops_reject_points(self, op):
+        tenant = "a" if op not in ("stats", "shutdown") else None
+        with pytest.raises(ProtocolError, match="does not accept points"):
+            Request(op=op, tenant=tenant, points=[[0.0, 0.0]])
+
+    def test_every_op_has_a_constructor(self):
+        built = {
+            Request.ingest("a", [[0.0, 0.0]]).op,
+            Request.query_labels("a").op,
+            Request.snapshot("a").op,
+            Request.evict("a").op,
+            Request.stats().op,
+            Request.shutdown().op,
+        }
+        assert built == set(OPS)
+
+
+class TestRoundTrips:
+    def test_request_dict_round_trip(self):
+        req = Request.ingest("tenant-7", [[0.5, 1.5], [2.5, 3.5]], request_id=42)
+        clone = Request.from_dict(req.as_dict())
+        assert clone.op == "ingest"
+        assert clone.tenant == "tenant-7"
+        assert clone.request_id == 42
+        assert np.array_equal(clone.points, req.points)
+
+    def test_request_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            Request.from_dict({"op": "stats", "bogus": 1})
+
+    def test_request_from_dict_requires_op(self):
+        with pytest.raises(ProtocolError, match="missing the 'op'"):
+            Request.from_dict({"tenant": "a"})
+
+    def test_response_dict_round_trip(self):
+        resp = Response(status="busy", op="ingest", tenant="a",
+                        error="queue full", retry_after_s=0.25, request_id="r1")
+        clone = Response.from_dict(resp.as_dict())
+        assert clone.busy and not clone.ok
+        assert clone.retry_after_s == 0.25
+        assert clone.error == "queue full"
+        assert clone.request_id == "r1"
+
+    def test_line_framing_round_trip(self):
+        payload = Request.stats(request_id=9).as_dict()
+        line = encode_line(payload)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == payload
+
+    def test_decode_line_rejects_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed JSON"):
+            decode_line(b"{not json}\n")
+
+    def test_decode_line_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2, 3]\n")

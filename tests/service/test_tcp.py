@@ -1,0 +1,154 @@
+"""TCP/JSON-lines front-end: real-socket round-trips, port file, auto-stop."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.data.stream import make_stream
+from repro.service import ClusteringService, TCPFrontend, run_server
+
+
+def chunk_payload(size: int = 40, seed: int = 3) -> list[list[float]]:
+    return next(iter(make_stream("drift-blobs", 1, size, seed=seed))).tolist()
+
+
+async def request_lines(port: int, payloads: list[dict]) -> list[dict]:
+    """Open one connection, send each payload as a line, read each reply."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    replies = []
+    try:
+        for payload in payloads:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            assert line, "server closed the connection early"
+            replies.append(json.loads(line))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return replies
+
+
+class TestTCPFrontend:
+    def test_ingest_query_stats_shutdown_round_trip(self, run, make_config):
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(make_config()))
+            await frontend.start()
+            server = asyncio.create_task(frontend.wait_closed())
+            replies = await request_lines(frontend.port, [
+                {"op": "ingest", "tenant": "a", "points": chunk_payload(),
+                 "request_id": 1},
+                {"op": "query_labels", "tenant": "a"},
+                {"op": "stats"},
+                {"op": "not-a-real-op"},
+                {"op": "shutdown"},
+            ])
+            await server
+            return replies
+
+        ingest, labels, stats, bad, shutdown = run(scenario())
+        assert ingest["status"] == "ok"
+        assert ingest["body"]["accepted_points"] == 40
+        assert ingest["request_id"] == 1
+        assert labels["status"] == "ok"
+        assert len(labels["body"]["labels"]) == 40
+        assert stats["body"]["service"]["requests"]["ingest"] == 1
+        assert bad["status"] == "error" and "unknown op" in bad["error"]
+        assert shutdown["status"] == "ok"
+
+    def test_malformed_line_is_an_error_not_a_crash(self, run, make_config):
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(make_config()))
+            await frontend.start()
+            server = asyncio.create_task(frontend.wait_closed())
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           frontend.port)
+            writer.write(b"{this is not json\n")
+            await writer.drain()
+            error = json.loads(await reader.readline())
+            # The connection survives the bad line.
+            writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+            await writer.drain()
+            stats = json.loads(await reader.readline())
+            writer.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+            await server
+            return error, stats
+
+        error, stats = run(scenario())
+        assert error["status"] == "error"
+        assert "malformed JSON" in error["error"]
+        assert stats["status"] == "ok"
+
+    def test_port_file_announces_ephemeral_port(self, run, make_config, tmp_path):
+        port_file = tmp_path / "service.port"
+
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(make_config()),
+                                   port_file=port_file)
+            await frontend.start()
+            written = int(port_file.read_text().strip())
+            assert written == frontend.port
+            await frontend.aclose()
+            return written
+
+        assert run(scenario()) > 0
+
+    def test_max_requests_stops_the_server(self, run, make_config):
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(make_config()),
+                                   max_requests=2)
+            await frontend.start()
+            server = asyncio.create_task(frontend.wait_closed())
+            replies = await request_lines(frontend.port, [
+                {"op": "ingest", "tenant": "a", "points": chunk_payload()},
+                {"op": "stats"},
+            ])
+            await server
+            return replies, frontend.requests_served
+
+        replies, served = run(scenario())
+        assert [r["status"] for r in replies] == ["ok", "ok"]
+        assert served == 2
+
+
+class TestRunServer:
+    def test_run_server_announces_and_returns_zero(self, make_config, tmp_path):
+        """Drive the synchronous CLI entry point end-to-end on one thread by
+        pre-scheduling the client against the announced port file."""
+        import socket
+        import threading
+
+        port_file = tmp_path / "port"
+        announced: list[str] = []
+        replies: list[dict] = []
+
+        def client() -> None:
+            while not port_file.exists() or not port_file.read_text().strip():
+                pass
+            port = int(port_file.read_text().strip())
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                for payload in ({"op": "ingest", "tenant": "a",
+                                 "points": chunk_payload()},
+                                {"op": "shutdown"}):
+                    fh.write(json.dumps(payload).encode() + b"\n")
+                    fh.flush()
+                    replies.append(json.loads(fh.readline()))
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        rc = run_server(make_config(), port=0, port_file=port_file,
+                        announce=announced.append)
+        thread.join(timeout=10)
+        assert rc == 0
+        assert not thread.is_alive()
+        assert any("listening on" in line for line in announced)
+        assert any("stopped after 2 request" in line for line in announced)
+        assert [r["status"] for r in replies] == ["ok", "ok"]

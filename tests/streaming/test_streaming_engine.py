@@ -229,3 +229,47 @@ class TestMaintenancePolicy:
             engine.update(feed[lo : lo + 200])
         assert engine.scene.capacity >= 600
         assert engine.scene.num_builds == 1
+
+
+class TestLifecycle:
+    """release()/snapshot()/context-manager — the serving layer's hooks."""
+
+    def test_release_is_idempotent_and_counted(self):
+        engine = StreamingRTDBSCAN(eps=0.3, min_pts=5)
+        engine.update(_blobs(200, seed=2))
+        assert not engine.released
+        engine.release()
+        engine.release()
+        assert engine.released
+        assert engine.num_releases == 1
+
+    def test_context_manager_releases_on_exit(self):
+        with StreamingRTDBSCAN(eps=0.3, min_pts=5) as engine:
+            engine.update(_blobs(150, seed=6))
+            assert not engine.released
+        assert engine.released
+        assert engine.num_releases == 1
+
+    def test_reingest_after_release_revives_engine(self):
+        engine = StreamingRTDBSCAN(eps=0.3, min_pts=5)
+        engine.update(_blobs(150, seed=6))
+        engine.release()
+        engine.update(_blobs(150, seed=7))
+        assert not engine.released
+        engine.release()
+        assert engine.num_releases == 2
+
+    def test_snapshot_mirrors_result(self):
+        engine = StreamingRTDBSCAN(eps=0.3, min_pts=5, window=120)
+        for chunk in drift_blob_stream(3, 60, seed=8):
+            engine.update(chunk)
+        snap = engine.snapshot()
+        result = engine.result()
+        assert snap["window_size"] == 120
+        assert snap["labels"] == result.labels.tolist()
+        assert snap["core_mask"] == result.core_mask.tolist()
+        assert snap["window_arrivals"] == result.extra["window_arrivals"].tolist()
+        assert snap["num_clusters"] == result.num_clusters
+        assert snap["num_noise"] == result.num_noise
+        assert snap["released"] is False
+        assert snap["summary"]["num_updates"] == 3

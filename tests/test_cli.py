@@ -214,3 +214,85 @@ class TestParser:
     def test_cluster_requires_a_source(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--eps", "0.3", "--min-pts", "5"])
+
+
+class TestServeCommand:
+    def test_serve_end_to_end_over_a_socket(self, tmp_path, capsys):
+        """Start the server on an ephemeral port, drive the wire protocol
+        from a client thread, and let `shutdown` stop it (rc 0)."""
+        import socket
+        import threading
+
+        port_file = tmp_path / "service.port"
+        replies: list[dict] = []
+
+        def client() -> None:
+            while not port_file.exists() or not port_file.read_text().strip():
+                pass
+            port = int(port_file.read_text().strip())
+            chunk = np.random.default_rng(0).uniform(0, 2, (40, 2)).tolist()
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                for payload in (
+                    {"op": "ingest", "tenant": "a", "points": chunk},
+                    {"op": "query_labels", "tenant": "a"},
+                    {"op": "stats"},
+                    {"op": "shutdown"},
+                ):
+                    fh.write(json.dumps(payload).encode() + b"\n")
+                    fh.flush()
+                    replies.append(json.loads(fh.readline()))
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        rc = main([
+            "serve", "--port", "0", "--port-file", str(port_file),
+            "--eps", "0.4", "--min-pts", "5", "--window", "300",
+        ])
+        thread.join(timeout=10)
+        assert rc == 0
+        assert not thread.is_alive()
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "stopped after 4 request(s)" in out
+        assert [r["status"] for r in replies] == ["ok", "ok", "ok", "ok"]
+        assert len(replies[1]["body"]["labels"]) == 40
+        assert replies[2]["body"]["config"]["spec"]["eps"] == 0.4
+
+    def test_serve_max_requests_auto_stops(self, tmp_path, capsys):
+        import socket
+        import threading
+
+        port_file = tmp_path / "service.port"
+
+        def client() -> None:
+            while not port_file.exists() or not port_file.read_text().strip():
+                pass
+            port = int(port_file.read_text().strip())
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(json.dumps({"op": "stats"}).encode() + b"\n")
+                fh.flush()
+                fh.readline()
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        rc = main([
+            "serve", "--port", "0", "--port-file", str(port_file),
+            "--max-requests", "1", "--eps", "0.3", "--min-pts", "5",
+        ])
+        thread.join(timeout=10)
+        assert rc == 0
+        assert "stopped after 1 request(s)" in capsys.readouterr().out
+
+    def test_serve_rejects_batch_only_algorithm(self, capsys):
+        rc = main([
+            "serve", "--port", "0", "--algo", "rt-dbscan",
+            "--eps", "0.3", "--min-pts", "5",
+        ])
+        assert rc == 2
+        assert "partial_fit" in capsys.readouterr().err
+
+    def test_serve_requires_eps_and_min_pts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
