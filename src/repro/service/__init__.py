@@ -30,7 +30,7 @@ from .config import DEFAULT_SPEC, ServiceConfig
 from .metrics import LatencyWindow, ServiceMetrics, SessionMetrics
 from .protocol import OPS, ProtocolError, Request, Response, decode_line, encode_line
 from .service import ClusteringService
-from .session import CapacityError, Session, SessionManager
+from .session import CapacityError, Session, SessionError, SessionManager
 from .tcp import TCPFrontend, run_server
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "ClusteringService",
     "CapacityError",
     "Session",
+    "SessionError",
     "SessionManager",
     "TCPFrontend",
     "run_server",

@@ -63,6 +63,7 @@ class SessionMetrics:
         self.batches = 0
         self.max_batch_chunks = 0
         self.max_batch_points = 0
+        self.update_failures = 0
         self.latency = LatencyWindow(latency_window)
 
     # ------------------------------------------------------------------ #
@@ -82,6 +83,10 @@ class SessionMetrics:
         self.max_batch_chunks = max(self.max_batch_chunks, int(num_chunks))
         self.max_batch_points = max(self.max_batch_points, int(num_points))
         self.latency.observe(wall_s)
+        self.last_active_at = now
+
+    def observe_update_failure(self, now: float) -> None:
+        self.update_failures += 1
         self.last_active_at = now
 
     def touch(self, now: float) -> None:
@@ -113,6 +118,7 @@ class SessionMetrics:
             "mean_batch_chunks": self.mean_batch_chunks,
             "max_batch_chunks": self.max_batch_chunks,
             "max_batch_points": self.max_batch_points,
+            "update_failures": self.update_failures,
             "update_latency": self.latency.as_dict(),
         }
 
@@ -130,6 +136,7 @@ class ServiceMetrics:
         self.chunks_ingested = 0
         self.points_ingested = 0
         self.batches = 0
+        self.update_failures = 0
 
     # ------------------------------------------------------------------ #
     def observe_request(self, op: str) -> None:
@@ -152,6 +159,9 @@ class ServiceMetrics:
         self.chunks_ingested += int(num_chunks)
         self.points_ingested += int(num_points)
 
+    def observe_update_failure(self) -> None:
+        self.update_failures += 1
+
     # ------------------------------------------------------------------ #
     @property
     def total_evictions(self) -> int:
@@ -170,6 +180,7 @@ class ServiceMetrics:
             "chunks_ingested": self.chunks_ingested,
             "points_ingested": self.points_ingested,
             "batches": self.batches,
+            "update_failures": self.update_failures,
             "mean_batch_chunks": self.chunks_ingested / self.batches if self.batches else 0.0,
             "ingest_rate_pts_per_s": self.points_ingested / uptime if uptime > 0 else 0.0,
         }

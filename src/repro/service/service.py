@@ -29,14 +29,17 @@ or over the JSON-lines TCP front-end in :mod:`repro.service.tcp`.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from typing import Callable
 
 from .config import ServiceConfig
 from .protocol import Request, Response
-from .session import CapacityError, Session, SessionManager
+from .session import CapacityError, Session, SessionError, SessionManager
 
 __all__ = ["ClusteringService"]
+
+logger = logging.getLogger(__name__)
 
 
 class ClusteringService:
@@ -110,7 +113,12 @@ class ClusteringService:
     async def _sweep_loop(self) -> None:
         while True:
             await asyncio.sleep(self.config.sweep_interval_s)
-            await self.sweep()
+            try:
+                await self.sweep()
+            except Exception:
+                # A failed pass must not kill the sweeper: TTL eviction would
+                # be silently disabled for the rest of the service's life.
+                logger.exception("TTL sweep pass failed; sweeper continues")
 
     async def sweep(self) -> list[str]:
         """One TTL-eviction pass; returns the evicted tenant ids."""
@@ -126,15 +134,17 @@ class ClusteringService:
         session = self.sessions.get(tenant, touch=False)
         if session is not None:
             await session.stop()
+        elif not task.done():
+            # Session already gone (evicted): cancel the orphaned worker.
+            task.cancel()
+        try:
             await task
-        else:
-            # Session already gone (evicted): the worker sees the stop flag.
-            if not task.done():
-                task.cancel()
-            try:
-                await task
-            except asyncio.CancelledError:
-                pass
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            # A worker that died on its own must not re-raise here — that
+            # would propagate through sweep() and kill the sweeper task.
+            logger.exception("worker for tenant %r exited with an error", tenant)
 
     # ------------------------------------------------------------------ #
     async def submit(self, request: Request | dict) -> Response:
@@ -170,6 +180,13 @@ class ClusteringService:
     def _require_session(self, request: Request) -> Session | None:
         return self.sessions.get(request.tenant)
 
+    def _session_failed(self, request: Request, session: Session) -> Response:
+        return self._error(
+            request,
+            f"session failed ({session.error}); evict tenant "
+            f"{request.tenant!r} to reset it",
+        )
+
     # ------------------------------------------------------------------ #
     async def _op_ingest(self, request: Request) -> Response:
         try:
@@ -186,7 +203,11 @@ class ClusteringService:
             for stale in [t for t in self._workers if t not in self.sessions]:
                 await self._stop_worker(stale)
             self._workers[request.tenant] = asyncio.create_task(session.run())
-        accepted = await session.enqueue(request.points)
+        try:
+            accepted = await session.enqueue(request.points)
+        except SessionError as exc:
+            self.metrics.observe_error()
+            return self._error(request, str(exc))
         if not accepted:
             self.metrics.observe_reject()
             return self._busy(
@@ -208,11 +229,16 @@ class ClusteringService:
         if session is None:
             return self._error(request, f"unknown tenant {request.tenant!r}")
         await session.drain()
+        if session.error is not None:
+            return self._session_failed(request, session)
         result = session.engine.result()
+        # Streaming-capable algorithms other than the RT-DBSCAN engine may
+        # not export window arrivals; degrade to null rather than KeyError.
+        arrivals = result.extra.get("window_arrivals") if result.extra else None
         body = {
             "labels": result.labels.tolist(),
             "core_mask": result.core_mask.tolist(),
-            "window_arrivals": result.extra["window_arrivals"].tolist(),
+            "window_arrivals": arrivals.tolist() if arrivals is not None else None,
             "num_clusters": int(result.num_clusters),
             "num_noise": int(result.num_noise),
             "window_size": int(result.labels.shape[0]),
@@ -225,8 +251,16 @@ class ClusteringService:
         if session is None:
             return self._error(request, f"unknown tenant {request.tenant!r}")
         await session.drain()
+        if session.error is not None:
+            return self._session_failed(request, session)
+        snapshot = getattr(session.engine, "snapshot", None)
+        if snapshot is None:
+            return self._error(
+                request,
+                f"algorithm {type(session.engine).__name__} does not support snapshot",
+            )
         return Response(status="ok", op="snapshot", tenant=request.tenant,
-                        body=session.engine.snapshot(), request_id=request.request_id)
+                        body=snapshot(), request_id=request.request_id)
 
     async def _op_evict(self, request: Request) -> Response:
         session = self.sessions.get(request.tenant, touch=False)

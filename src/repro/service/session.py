@@ -17,6 +17,7 @@ engine's idempotent ``release()`` so slot-buffer scenes are reclaimed.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from collections import OrderedDict, deque
 from typing import Callable
@@ -27,11 +28,17 @@ from ..api.registry import make_streaming_clusterer
 from .config import ServiceConfig
 from .metrics import ServiceMetrics, SessionMetrics
 
-__all__ = ["Session", "SessionManager", "CapacityError"]
+__all__ = ["Session", "SessionManager", "CapacityError", "SessionError"]
+
+logger = logging.getLogger(__name__)
 
 
 class CapacityError(RuntimeError):
     """The session pool is full and no idle session can be evicted."""
+
+
+class SessionError(RuntimeError):
+    """The session cannot accept the request (failed engine or bad input)."""
 
 
 class Session:
@@ -69,6 +76,12 @@ class Session:
         self._busy = False
         self._stopping = False
         self.closed = False
+        #: point dimensionality pinned by the first accepted chunk; later
+        #: chunks must match so coalesced batches always vstack cleanly.
+        self._dim: int | None = None
+        #: set when an engine update raised: the session is failed and
+        #: refuses further ingest until the tenant evicts it.
+        self.error: str | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -93,14 +106,34 @@ class Session:
 
         Returns True when the chunk was queued; False signals backpressure
         (the caller should reply ``busy`` with the config's retry hint).
+        Raises :class:`SessionError` for chunks the session can never take:
+        a failed session, or a chunk whose dimensionality differs from the
+        one the first accepted chunk pinned (mixed-dim chunks would make the
+        coalescing ``np.vstack`` raise inside the worker).
         """
-        now = self._clock()
-        if self._stopping or self.closed:
-            return False
-        if len(self._queue) >= self.config.max_queue_chunks:
-            self.metrics.observe_reject(now)
-            return False
         async with self._cond:
+            # Every check sits inside the lock: concurrent enqueues suspended
+            # on `async with` must not all pass a stale bound/state check.
+            now = self._clock()
+            if self._stopping or self.closed:
+                return False
+            if self.error is not None:
+                raise SessionError(
+                    f"session for tenant {self.tenant!r} failed ({self.error}); "
+                    "evict the tenant to reset it"
+                )
+            dim = int(chunk.shape[1])
+            if self._dim is None:
+                self._dim = dim
+            elif dim != self._dim:
+                raise SessionError(
+                    f"tenant {self.tenant!r} session holds {self._dim}-d points; "
+                    f"got a {dim}-d chunk (per-session dimensionality is fixed "
+                    "by the first chunk)"
+                )
+            if len(self._queue) >= self.config.max_queue_chunks:
+                self.metrics.observe_reject(now)
+                return False
             self._queue.append(chunk)
             self._queued_points += int(chunk.shape[0])
             self.metrics.observe_accept(chunk.shape[0], now)
@@ -138,6 +171,7 @@ class Session:
                     return
                 batch = self._take_batch()
                 self._busy = True
+            failure: str | None = None
             try:
                 points = batch[0] if len(batch) == 1 else np.vstack(batch)
                 t0 = time.perf_counter()
@@ -146,8 +180,25 @@ class Session:
                 self.metrics.observe_batch(len(batch), points.shape[0], wall, self._clock())
                 if self._service_metrics is not None:
                     self._service_metrics.observe_batch(len(batch), points.shape[0])
+            except Exception as exc:
+                # A raising update must not kill the worker: acked chunks
+                # would then sit unprocessed forever and drain() would hang
+                # every read/evict/shutdown on this tenant.  Fail the session
+                # instead: drop its pending work, wake drain() waiters, and
+                # let enqueue refuse further chunks until the tenant evicts.
+                failure = f"{type(exc).__name__}: {exc}"
+                logger.exception(
+                    "update failed for tenant %r; failing the session", self.tenant
+                )
             finally:
                 async with self._cond:
+                    if failure is not None:
+                        self.error = failure
+                        self.metrics.observe_update_failure(self._clock())
+                        if self._service_metrics is not None:
+                            self._service_metrics.observe_update_failure()
+                        self._queue.clear()
+                        self._queued_points = 0
                     self._busy = False
                     self._cond.notify_all()
             # Yield so other sessions' workers interleave between batches.
@@ -187,6 +238,7 @@ class Session:
         payload = self.metrics.as_dict(
             now, queue_depth=self.queue_depth, queued_points=self._queued_points
         )
+        payload["error"] = self.error
         summary = getattr(self.engine, "summary", None)
         if summary is not None:
             payload["engine"] = summary()

@@ -68,7 +68,14 @@ class TCPFrontend:
     # ------------------------------------------------------------------ #
     async def start(self) -> "TCPFrontend":
         await self.service.start()
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        # Size the stream-reader line limit for real ingest payloads: the
+        # asyncio default (64 KiB) caps out around a couple of thousand JSON
+        # points, far below the advertised max_batch_points budget.  Budget
+        # ~64 bytes per encoded point plus envelope headroom.
+        limit = max(1 << 16, self.service.config.max_batch_points * 64 + 4096)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=limit
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.port_file is not None:
             self.port_file.write_text(f"{self.port}\n")
@@ -78,7 +85,21 @@ class TCPFrontend:
                       writer: asyncio.StreamWriter) -> None:
         try:
             while not self._done.is_set():
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line longer than the reader limit: the framing is lost
+                    # mid-line, so reply with a protocol error and close this
+                    # connection instead of silently dropping it.
+                    self.service.metrics.observe_error()
+                    response = Response(
+                        status="error", op="?",
+                        error="request line exceeds the server's line limit; "
+                              "split the ingest into smaller chunks",
+                    )
+                    writer.write(encode_line(response.as_dict()))
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 if not line.strip():

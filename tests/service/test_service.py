@@ -189,6 +189,130 @@ class TestEviction:
         assert session.engine.num_releases == 1
 
 
+class TestFailureContainment:
+    def test_mixed_dim_ingest_is_an_error_not_a_hang(self, run, make_config):
+        """A 2-d chunk followed by a 3-d chunk for the same tenant (both
+        protocol-valid) is rejected at enqueue; the session keeps serving
+        and shutdown still drains cleanly."""
+        config = make_config(max_batch_chunks=4, max_queue_chunks=8)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                ok = await service.submit(Request.ingest("t", chunks_for(1)[0]))
+                bad = await service.submit(
+                    {"op": "ingest", "tenant": "t", "points": [[0.0, 0.0, 0.0]] * 8}
+                )
+                labels = await service.submit(Request.query_labels("t"))
+                again = await service.submit(Request.ingest("t", chunks_for(1, seed=5)[0]))
+                return ok, bad, labels, again
+
+        ok, bad, labels, again = run(scenario())
+        assert ok.ok
+        assert not bad.ok and "2-d" in bad.error
+        assert labels.ok and len(labels.body["labels"]) == 40
+        assert again.ok  # the session survived the bad chunk
+
+    def test_failed_update_degrades_to_errors_and_evict_resets(self, run, make_config):
+        """When the engine raises mid-update the tenant gets error responses
+        (not hangs), stats surface the failure, and evicting the tenant
+        builds a fresh working session."""
+        chunks = chunks_for(3)
+
+        async def scenario():
+            async with ClusteringService(make_config()) as service:
+                await service.submit(Request.ingest("t", chunks[0]))
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+
+                def boom(points):
+                    raise RuntimeError("engine exploded")
+
+                session.engine.update = boom
+                await service.submit(Request.ingest("t", chunks[1]))
+                labels = await service.submit(Request.query_labels("t"))
+                rejected = await service.submit(Request.ingest("t", chunks[2]))
+                stats = await service.submit(Request.stats())
+                evicted = await service.submit(Request.evict("t"))
+                fresh = await service.submit(Request.ingest("t", chunks[2]))
+                return labels, rejected, stats, evicted, fresh, session
+
+        labels, rejected, stats, evicted, fresh, session = run(scenario())
+        assert not labels.ok and "session failed" in labels.error
+        assert not rejected.ok and "evict" in rejected.error
+        assert stats.body["service"]["update_failures"] == 1
+        assert stats.body["sessions"]["tenants"]["t"]["error"] is not None
+        assert evicted.ok and evicted.body["evicted"] is True
+        assert session.engine.num_releases == 1
+        assert fresh.ok and fresh.body["session_created"]
+
+    def test_sweeper_survives_a_failing_sweep_pass(self, run, make_config, fake_clock):
+        config = make_config(session_ttl_s=10.0, sweep_interval_s=0.01)
+
+        async def scenario():
+            service = ClusteringService(config, clock=fake_clock)
+            await service.start()
+            calls = []
+            original = service.sweep
+
+            async def flaky_sweep():
+                calls.append(True)
+                if len(calls) == 1:
+                    raise RuntimeError("sweep blew up")
+                return await original()
+
+            service.sweep = flaky_sweep
+            for _ in range(500):  # bounded wait: ~5 s worst case
+                if len(calls) >= 3:
+                    break
+                await asyncio.sleep(0.01)
+            alive = not service._sweeper.done()
+            await service.aclose()
+            return calls, alive
+
+        calls, alive = run(scenario())
+        assert len(calls) >= 3  # kept firing after the failure
+        assert alive
+
+    def test_reads_degrade_gracefully_without_engine_extras(self, run, make_config):
+        """A streaming-capable engine without window_arrivals/snapshot gets
+        null arrivals and a clean snapshot error, not KeyError/AttributeError."""
+        from types import SimpleNamespace
+
+        class MinimalEngine:
+            def update(self, points):
+                self.n = int(points.shape[0])
+
+            def result(self):
+                n = getattr(self, "n", 0)
+                return SimpleNamespace(
+                    labels=np.zeros(n, dtype=np.int64),
+                    core_mask=np.zeros(n, dtype=bool),
+                    extra={},
+                    num_clusters=0,
+                    num_noise=n,
+                )
+
+            def release(self):
+                pass
+
+        async def scenario():
+            async with ClusteringService(make_config()) as service:
+                await service.submit(Request.ingest("t", chunks_for(1)[0]))
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+                session.engine = MinimalEngine()
+                await service.submit(Request.ingest("t", chunks_for(1)[0]))
+                labels = await service.submit(Request.query_labels("t"))
+                snap = await service.submit(Request.snapshot("t"))
+                return labels, snap
+
+        labels, snap = run(scenario())
+        assert labels.ok
+        assert labels.body["window_arrivals"] is None
+        assert labels.body["window_size"] == 40
+        assert not snap.ok and "does not support snapshot" in snap.error
+
+
 class TestOps:
     def test_unknown_tenant_query_is_an_error(self, run, make_config):
         async def scenario():

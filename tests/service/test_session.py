@@ -9,7 +9,7 @@ import pytest
 
 from repro.api import ClustererSpec
 from repro.data.stream import make_stream
-from repro.service.session import CapacityError, SessionManager
+from repro.service.session import CapacityError, SessionError, SessionManager
 from repro.streaming import StreamingRTDBSCAN
 
 
@@ -102,6 +102,67 @@ class TestSessionWorker:
         assert session.metrics.chunks_accepted == 2
         assert session.metrics.chunks_rejected == 1
         assert session.queue_depth == 2
+
+    def test_enqueue_rejects_mixed_dimensionality(self, run, make_config):
+        """The first chunk pins the session's dimensionality; a mismatched
+        chunk raises instead of poisoning a future coalesced vstack."""
+        manager = SessionManager(make_config())
+
+        async def scenario():
+            session, _ = manager.get_or_create("a")
+            assert await session.enqueue(np.zeros((4, 2)))
+            with pytest.raises(SessionError, match="2-d"):
+                await session.enqueue(np.ones((4, 3)))
+            return session
+
+        session = run(scenario())
+        assert session.queue_depth == 1  # the bad chunk was never queued
+
+    def test_concurrent_enqueues_respect_queue_bound(self, run, make_config):
+        """Many enqueues racing for the condition lock cannot overshoot the
+        configured queue cap (the bound is checked under the lock)."""
+        manager = SessionManager(make_config(max_queue_chunks=2))
+
+        async def scenario():
+            session, _ = manager.get_or_create("a")
+            results = await asyncio.gather(
+                *(session.enqueue(chunk) for chunk in chunks_for(6))
+            )
+            return session, results
+
+        session, results = run(scenario())
+        assert session.queue_depth == 2
+        assert sum(results) == 2
+        assert session.metrics.chunks_rejected == 4
+
+    def test_failed_update_fails_session_and_unblocks_drain(self, run, make_config):
+        """An update() that raises must not kill the worker: the session is
+        marked failed, pending work is dropped, and drain() returns instead
+        of hanging every read/evict on the tenant."""
+        manager = SessionManager(make_config())
+
+        async def scenario():
+            session, _ = manager.get_or_create("a")
+
+            def boom(points):
+                raise RuntimeError("engine exploded")
+
+            session.engine.update = boom
+            worker = asyncio.create_task(session.run())
+            assert await session.enqueue(chunks_for(1)[0])
+            await session.drain()  # returns despite the failed batch
+            assert session.error is not None
+            with pytest.raises(SessionError, match="failed"):
+                await session.enqueue(chunks_for(1)[0])
+            await session.stop()
+            await worker  # worker exits cleanly, not by exception
+            return session
+
+        session = run(scenario())
+        assert "RuntimeError: engine exploded" in session.error
+        assert session.queue_depth == 0
+        assert session.metrics.update_failures == 1
+        assert session.stats()["error"] == session.error
 
     def test_labels_match_serial_consume(self, run, make_config):
         config = make_config(max_batch_chunks=3)

@@ -86,6 +86,62 @@ class TestTCPFrontend:
         assert "malformed JSON" in error["error"]
         assert stats["status"] == "ok"
 
+    def test_large_ingest_line_fits_the_sized_reader_limit(self, run, make_config):
+        """A multi-thousand-point ingest line (well past asyncio's 64 KiB
+        readline default) round-trips because the server sizes its reader
+        limit from max_batch_points."""
+        points = [[float(i) * 1e-3, float(i) * 2e-3] for i in range(5000)]
+
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(make_config()))
+            await frontend.start()
+            server = asyncio.create_task(frontend.wait_closed())
+            replies = await request_lines(frontend.port, [
+                {"op": "ingest", "tenant": "a", "points": points},
+                {"op": "shutdown"},
+            ])
+            await server
+            return replies
+
+        ingest, _ = run(scenario())
+        assert ingest["status"] == "ok"
+        assert ingest["body"]["accepted_points"] == 5000
+
+    def test_oversized_line_gets_an_error_reply(self, run, make_config):
+        """A line beyond the reader limit earns a protocol error response
+        before the connection closes, and the server keeps serving."""
+        config = make_config(max_batch_points=1)  # floor: 64 KiB limit
+
+        async def scenario():
+            frontend = TCPFrontend(ClusteringService(config))
+            await frontend.start()
+            server = asyncio.create_task(frontend.wait_closed())
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           frontend.port)
+            writer.write(b"x" * 70_000 + b"\n")
+            await writer.drain()
+            error = json.loads(await reader.readline())
+            closed = await reader.readline()  # framing lost -> closed
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            # A fresh connection still gets service.
+            replies = await request_lines(frontend.port, [
+                {"op": "stats"},
+                {"op": "shutdown"},
+            ])
+            await server
+            return error, closed, replies
+
+        error, closed, (stats, shutdown) = run(scenario())
+        assert error["status"] == "error"
+        assert "line limit" in error["error"]
+        assert closed == b""
+        assert stats["status"] == "ok"
+        assert shutdown["status"] == "ok"
+
     def test_port_file_announces_ephemeral_port(self, run, make_config, tmp_path):
         port_file = tmp_path / "service.port"
 
