@@ -10,15 +10,21 @@ scale, so it finishes in minutes on a single CPU.  CI runs it on every push
 recorded performance trajectory over time.
 
 The **perf** profile measures *host* performance rather than simulated device
-time: for every neighbour backend it runs one RT-DBSCAN fit on the 50 K-point
-blobs scaling ladder in a fresh subprocess and records wall-clock seconds,
+time: for every neighbour backend it runs RT-DBSCAN fits on the 50 K-point
+blobs scaling ladder in fresh subprocesses and records wall-clock seconds,
 peak RSS and the tracemalloc peak (the peak size of live Python/NumPy
-intermediates).  Passing ``--baseline older_BENCH_perf.json`` embeds the
-older records and per-configuration speedups, so successive snapshots form a
-wall-clock trajectory.  Labels are recorded as a SHA-256 checksum and the
-simulated device seconds are carried verbatim, which is how a snapshot
-*proves* that a host-side optimisation changed neither the clustering output
-nor the cost-model accounting.
+intermediates).  Backends with a compiled implementation (``[native]`` in
+``rt-dbscan list``) are measured twice per cell — once forced to pure numpy,
+once on the cffi kernel tier — and the paired cells are emitted under
+``perf.native_vs_numpy`` with their wall speedup and a proof that labels,
+counts and simulated seconds are identical.  ``--budget-file`` gates those
+speedups (``native_min_speedup`` / ``native_gate_min_n`` keys) in addition
+to the smoke wall budget.  Passing ``--baseline older_BENCH_perf.json``
+embeds the older records and per-configuration speedups, so successive
+snapshots form a wall-clock trajectory.  Labels are recorded as a SHA-256
+checksum and the simulated device seconds are carried verbatim, which is how
+a snapshot *proves* that a host-side optimisation changed neither the
+clustering output nor the cost-model accounting.
 
 Usage::
 
@@ -81,6 +87,10 @@ PERF = {
     "seed": 2023,
 }
 
+#: backends measured on both kernel tiers (must match the registry's
+#: ``native=True`` entries; kdtree has no compiled path).
+NATIVE_BACKENDS = ("rt", "grid", "brute")
+
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -104,6 +114,11 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="smoke budget: JSON with smoke_seconds_seed and "
                              "smoke_budget_factor; exit 3 when the run exceeds "
                              "seed seconds x factor")
+    parser.add_argument("--require-native", action="store_true",
+                        help="perf profile: fail (exit 3) unless the native "
+                             "tier built and produced paired cells — stops a "
+                             "CI native job from passing vacuously when the "
+                             "tier silently fell back to numpy")
     parser.add_argument("--perf-child", default=None, help=argparse.SUPPRESS)
     return parser.parse_args(argv)
 
@@ -120,7 +135,10 @@ def perf_child(config_json: str) -> int:
     from repro.dbscan.rt_dbscan import RTDBSCAN
 
     points = generate(cfg["dataset"], cfg["n"], seed=cfg["seed"])
-    clusterer = RTDBSCAN(eps=cfg["eps"], min_pts=cfg["min_pts"], backend=cfg["backend"])
+    clusterer = RTDBSCAN(
+        eps=cfg["eps"], min_pts=cfg["min_pts"], backend=cfg["backend"],
+        native=cfg.get("native"),
+    )
 
     tracemalloc.start()
     tracemalloc.reset_peak()
@@ -142,6 +160,7 @@ def perf_child(config_json: str) -> int:
         "n": cfg["n"],
         "eps": cfg["eps"],
         "min_pts": cfg["min_pts"],
+        "kernel_tier": result.extra.get("kernel_tier", "numpy"),
         "wall_seconds": wall,
         "ru_maxrss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
         "tracemalloc_peak_bytes": int(traced_peak),
@@ -168,32 +187,87 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
         sizes = [int(s) for s in args.perf_sizes]
     else:
         sizes = [max(1_000, int(round(s * scale))) for s in PERF["sizes"]]
-    payload["meta"]["perf_config"] = {**PERF, "sizes": sizes}
+    payload["meta"]["perf_config"] = {
+        **PERF, "sizes": sizes, "native_backends": NATIVE_BACKENDS,
+    }
+    # Probe the native tier once in the parent: the build lands in the shared
+    # on-disk cache, so child processes load it instead of racing to compile.
+    # When the tier is unavailable (no cffi / no compiler) the paired native
+    # cells are skipped rather than re-measuring numpy twice.
+    from repro.native import dispatch as native_dispatch
+
+    pair_native = native_dispatch.available()
+    if not pair_native:
+        print(f"[bench] native tier unavailable "
+              f"({native_dispatch.status()['fallback_reason']}); "
+              f"running numpy cells only", flush=True)
+
     records = []
     for n in sizes:
         points = generate(PERF["dataset"], n, seed=PERF["seed"])
         eps = calibrate_eps(points, PERF["min_pts"], PERF["eps_quantile"])
         for backend in PERF["backends"]:
-            cfg = {
-                "dataset": PERF["dataset"], "n": n, "seed": PERF["seed"],
-                "eps": eps, "min_pts": PERF["min_pts"], "backend": backend,
-            }
-            print(f"[bench] perf {backend}@{n} (eps={eps:.5g}) ...", flush=True)
-            proc = subprocess.run(
-                [sys.executable, str(Path(__file__).resolve()),
-                 "--perf-child", json.dumps(cfg)],
-                capture_output=True, text=True,
-            )
-            if proc.returncode != 0:
-                print(proc.stderr, file=sys.stderr)
-                raise RuntimeError(f"perf child failed for {backend}@{n}")
-            record = json.loads(proc.stdout.strip().splitlines()[-1])
-            records.append(record)
-            print(f"[bench]   {record['wall_seconds']:.1f}s wall, "
-                  f"{record['ru_maxrss_bytes'] / 2**20:.0f} MiB RSS, "
-                  f"{record['tracemalloc_peak_bytes'] / 2**20:.0f} MiB traced peak",
-                  flush=True)
+            # Backends with a compiled path run the identical cell on both
+            # kernel tiers; single-tier backends run pure numpy only.
+            tiers = (False, True) if pair_native and backend in NATIVE_BACKENDS else (False,)
+            for native in tiers:
+                cfg = {
+                    "dataset": PERF["dataset"], "n": n, "seed": PERF["seed"],
+                    "eps": eps, "min_pts": PERF["min_pts"], "backend": backend,
+                    "native": native,
+                }
+                tier = "native" if native else "numpy"
+                print(f"[bench] perf {backend}@{n} [{tier}] (eps={eps:.5g}) ...",
+                      flush=True)
+                proc = subprocess.run(
+                    [sys.executable, str(Path(__file__).resolve()),
+                     "--perf-child", json.dumps(cfg)],
+                    capture_output=True, text=True,
+                )
+                if proc.returncode != 0:
+                    print(proc.stderr, file=sys.stderr)
+                    raise RuntimeError(f"perf child failed for {backend}@{n}")
+                record = json.loads(proc.stdout.strip().splitlines()[-1])
+                records.append(record)
+                print(f"[bench]   {record['wall_seconds']:.1f}s wall, "
+                      f"{record['ru_maxrss_bytes'] / 2**20:.0f} MiB RSS, "
+                      f"{record['tracemalloc_peak_bytes'] / 2**20:.0f} MiB traced peak",
+                      flush=True)
     payload["perf"] = {"records": records}
+
+    # Paired numpy-vs-native cells: the native tier must prove byte-identical
+    # labels, identical charged counts and identical simulated seconds; the
+    # wall speedup is what the budget file gates.
+    comparisons = []
+    for rec in records:
+        if rec["kernel_tier"] != "native":
+            continue
+        base = next(
+            (b for b in records
+             if b["backend"] == rec["backend"] and b["n"] == rec["n"]
+             and b["kernel_tier"] == "numpy"),
+            None,
+        )
+        if base is None:
+            continue
+        comparisons.append({
+            "backend": rec["backend"],
+            "n": rec["n"],
+            "numpy_wall_seconds": base["wall_seconds"],
+            "native_wall_seconds": rec["wall_seconds"],
+            "wall_speedup": base["wall_seconds"] / max(rec["wall_seconds"], 1e-9),
+            "labels_identical": base["labels_sha256"] == rec["labels_sha256"],
+            "counts_identical": base["counts"] == rec["counts"],
+            "simulated_seconds_identical": (
+                base["simulated_seconds"] == rec["simulated_seconds"]
+            ),
+        })
+    payload["perf"]["native_vs_numpy"] = comparisons
+    for c in comparisons:
+        print(f"[bench] native {c['backend']}@{c['n']}: "
+              f"{c['wall_speedup']:.2f}x wall speedup, "
+              f"labels_identical={c['labels_identical']}, "
+              f"counts_identical={c['counts_identical']}", flush=True)
 
     # Speedup-vs-agreement sweep of the approximate tier: every knob setting
     # of the lsh/sampled backends against the exact brute baseline, so the
@@ -232,9 +306,12 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
         }
         comparisons = []
         for rec in records:
+            # Older snapshots predate the kernel-tier column; their records
+            # are pure numpy, so only same-tier cells compare.
             match = next(
                 (b for b in base_records
-                 if b["backend"] == rec["backend"] and b["n"] == rec["n"]),
+                 if b["backend"] == rec["backend"] and b["n"] == rec["n"]
+                 and b.get("kernel_tier", "numpy") == rec.get("kernel_tier", "numpy")),
                 None,
             )
             if match is None:
@@ -242,6 +319,7 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
             comparisons.append({
                 "backend": rec["backend"],
                 "n": rec["n"],
+                "kernel_tier": rec.get("kernel_tier", "numpy"),
                 "wall_speedup": match["wall_seconds"] / max(rec["wall_seconds"], 1e-9),
                 "rss_ratio": match["ru_maxrss_bytes"] / max(rec["ru_maxrss_bytes"], 1),
                 "traced_peak_ratio": (
@@ -256,19 +334,66 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
             })
         payload["perf"]["vs_baseline"] = comparisons
         if comparisons:
+            compared = {
+                (c["backend"], c["n"], c["kernel_tier"]) for c in comparisons
+            }
             total_base = sum(
                 b["wall_seconds"] for b in base_records
-                if any(c["backend"] == b["backend"] and c["n"] == b["n"]
-                       for c in comparisons)
+                if (b["backend"], b["n"], b.get("kernel_tier", "numpy")) in compared
             )
             total_now = sum(
                 r["wall_seconds"] for r in records
-                if any(c["backend"] == r["backend"] and c["n"] == r["n"]
-                       for c in comparisons)
+                if (r["backend"], r["n"], r.get("kernel_tier", "numpy")) in compared
             )
             payload["perf"]["overall_wall_speedup"] = total_base / max(total_now, 1e-9)
             print(f"[bench] overall wall speedup vs baseline: "
                   f"{payload['perf']['overall_wall_speedup']:.2f}x", flush=True)
+
+
+def check_native_budget(args: argparse.Namespace, payload: dict) -> int:
+    """Gate the perf profile's paired native cells against the budget file.
+
+    Parity (identical labels, counts and simulated seconds) is a hard
+    requirement on *every* paired cell regardless of size.  The speedup floor
+    (``native_min_speedup``, per backend) only applies to cells with at least
+    ``native_gate_min_n`` points, so a scaled-down CI run is not falsely
+    gated on warm-up-dominated small cells.  Exit code 3 mirrors the smoke
+    budget check.
+    """
+    comparisons = payload.get("perf", {}).get("native_vs_numpy", [])
+    failures = []
+    if args.require_native and not comparisons:
+        failures.append("--require-native set but no paired native cells ran "
+                        "(tier unavailable or fell back to numpy)")
+    for c in comparisons:
+        if not (c["labels_identical"] and c["counts_identical"]
+                and c["simulated_seconds_identical"]):
+            failures.append(
+                f"{c['backend']}@{c['n']}: native tier broke parity "
+                f"(labels={c['labels_identical']}, counts={c['counts_identical']}, "
+                f"simulated={c['simulated_seconds_identical']})"
+            )
+    if args.budget_file:
+        budget = json.loads(Path(args.budget_file).read_text())
+        floors = budget.get("native_min_speedup", {})
+        gate_min_n = int(budget.get("native_gate_min_n", 50_000))
+        for c in comparisons:
+            floor = floors.get(c["backend"])
+            if floor is None or c["n"] < gate_min_n:
+                continue
+            if c["wall_speedup"] < float(floor):
+                failures.append(
+                    f"{c['backend']}@{c['n']}: native speedup "
+                    f"{c['wall_speedup']:.2f}x below the {float(floor):g}x floor"
+                )
+    if failures:
+        for line in failures:
+            print(f"[bench] NATIVE BUDGET FAILED: {line}", file=sys.stderr)
+        return 3
+    if comparisons:
+        print(f"[bench] native tier: {len(comparisons)} paired cells, "
+              "parity held on all of them")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -298,7 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         payload["meta"]["total_wall_seconds"] = time.time() - started
         out.write_text(json.dumps(payload, indent=2, default=float))
         print(f"[bench] wrote {out} ({payload['meta']['total_wall_seconds']:.1f}s total)")
-        return 0
+        return check_native_budget(args, payload)
 
     profile = SMOKE if args.profile == "smoke" else FULL
     experiments = args.experiments if args.experiments is not None else profile["experiments"]

@@ -60,6 +60,7 @@ class AlgorithmEntry:
     supports_backend: bool = False
     supports_partial_fit: bool = False
     supports_tiles: bool = False
+    supports_native: bool = False
     aliases: tuple[str, ...] = ()
 
 
@@ -78,7 +79,9 @@ class BackendEntry:
     (see :func:`repro.metrics.agreement_summary`).  ``knobs`` names the
     backend-specific constructor kwargs (e.g. ``recall_target`` for the LSH
     backend) that :class:`~repro.api.spec.ClustererSpec` validates and
-    :func:`make_clusterer` routes to the backend factory.
+    :func:`make_clusterer` routes to the backend factory.  ``native`` marks
+    backends whose hot loops have a compiled implementation in the optional
+    native tier (:mod:`repro.native`); results are byte-identical either way.
     """
 
     name: str
@@ -87,6 +90,7 @@ class BackendEntry:
     aliases: tuple[str, ...] = ()
     exact: bool = True
     knobs: tuple[str, ...] = ()
+    native: bool = False
 
 
 _ALGORITHMS: dict[str, AlgorithmEntry] = {}
@@ -133,6 +137,7 @@ def register_algorithm(
     supports_backend: bool = False,
     supports_partial_fit: bool = False,
     supports_tiles: bool = False,
+    supports_native: bool = False,
     aliases: tuple[str, ...] = (),
 ) -> Callable:
     """Class/function decorator that registers a clusterer factory.
@@ -140,7 +145,8 @@ def register_algorithm(
     The decorated object must be callable as ``factory(eps=..., min_pts=...,
     device=..., **params)``.  Algorithms registered with
     ``supports_tiles=True`` additionally accept ``tiles=`` / ``workers=``
-    keyword arguments (the partition-layer knobs).  Registering an
+    keyword arguments (the partition-layer knobs); ``supports_native=True``
+    ones accept a ``native=`` kernel-tier override.  Registering an
     already-taken name raises ``ValueError`` — overwriting a registration is
     always a bug.
     """
@@ -154,6 +160,7 @@ def register_algorithm(
             supports_backend=supports_backend,
             supports_partial_fit=supports_partial_fit,
             supports_tiles=supports_tiles,
+            supports_native=supports_native,
             aliases=tuple(a.lower() for a in aliases),
         )
         for key in (entry.name, *entry.aliases):
@@ -172,13 +179,16 @@ def register_backend(
     aliases: tuple[str, ...] = (),
     exact: bool = True,
     knobs: tuple[str, ...] = (),
+    native: bool = False,
 ) -> Callable:
     """Class/function decorator that registers a neighbour-backend factory.
 
     The decorated object must be callable as ``factory(points, radius,
     device=..., **kwargs)``.  ``exact=False`` marks deliberately inexact
     backends (the approximate tier); ``knobs`` declares their tunable
-    speed/recall kwargs so specs can validate them up front.
+    speed/recall kwargs so specs can validate them up front; ``native=True``
+    advertises a compiled implementation of the backend's hot loops in the
+    optional native tier.
     """
 
     def decorator(factory: Callable) -> Callable:
@@ -189,6 +199,7 @@ def register_backend(
             aliases=tuple(a.lower() for a in aliases),
             exact=exact,
             knobs=tuple(knobs),
+            native=native,
         )
         for key in (entry.name, *entry.aliases):
             if key in _BACKENDS:
@@ -294,6 +305,8 @@ def make_clusterer(spec, *, device=None):
         params["tiles"] = spec.tiles
     if spec.workers is not None:
         params["workers"] = spec.workers
+    if spec.native is not None:
+        params["native"] = spec.native
     return entry.factory(eps=spec.eps, min_pts=spec.min_pts, device=device, **params)
 
 

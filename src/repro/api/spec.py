@@ -41,6 +41,12 @@ class ClustererSpec:
         ``supports_tiles=True`` (the partition layer).
     workers:
         Optional executor parallelism for tile-capable algorithms.
+    native:
+        Optional kernel-tier override for algorithms registered with
+        ``supports_native=True``: ``True`` forces the compiled C kernels,
+        ``False`` forces pure numpy, ``None`` (default) defers to the
+        ``REPRO_NATIVE`` environment knob.  Results are byte-identical
+        either way; only wall-clock time changes.
     params:
         Extra keyword arguments forwarded to the algorithm factory
         (e.g. ``builder="sah"`` or ``window=2000``).
@@ -52,6 +58,7 @@ class ClustererSpec:
     backend: str | None = None
     tiles: int | None = None
     workers: int | None = None
+    native: bool | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -113,6 +120,11 @@ class ClustererSpec:
                 f"algorithm {entry.name!r} does not accept tiles/workers; "
                 "use a tile-capable algorithm such as 'rt-dbscan-tiled'"
             )
+        if self.native is not None and not entry.supports_native:
+            raise ValueError(
+                f"algorithm {entry.name!r} does not accept a native= kernel-tier "
+                "override"
+            )
         return entry, backend
 
     def as_dict(self) -> dict:
@@ -123,5 +135,6 @@ class ClustererSpec:
             "backend": self.backend,
             "tiles": self.tiles,
             "workers": self.workers,
+            "native": self.native,
             "params": dict(self.params),
         }

@@ -24,6 +24,7 @@ import numpy as np
 from ..api.registry import list_algorithms, resolve_algorithm
 from ..api.spec import ClustererSpec
 from ..dbscan.params import DBSCANResult
+from ..native import dispatch as native_dispatch
 from ..partition.executor import ParallelMap, as_parallel_map
 from ..perf.cost_model import DeviceCostModel
 from ..perf.memory import DeviceMemoryError
@@ -88,6 +89,10 @@ class RunRecord:
     num_clusters: int = -1
     num_noise: int = -1
     num_core: int = -1
+    #: which kernel tier executed the fit: "native" (compiled C hot loops)
+    #: or "numpy"; taken from the result's extra block when the algorithm
+    #: records it, otherwise from the dispatcher's state at fit time.
+    kernel_tier: str = ""
     breakdown: dict = field(default_factory=dict)
     error: str = ""
     extra: dict = field(default_factory=dict)
@@ -105,6 +110,7 @@ class RunRecord:
             "num_clusters": self.num_clusters,
             "num_noise": self.num_noise,
             "num_core": self.num_core,
+            "kernel_tier": self.kernel_tier,
             "breakdown": dict(self.breakdown),
             "error": self.error,
             "extra": dict(self.extra),
@@ -192,6 +198,7 @@ def _fill_from_result(record: RunRecord, result: DBSCANResult) -> None:
     record.num_clusters = result.num_clusters
     record.num_noise = result.num_noise
     record.num_core = int(result.core_mask.sum())
+    record.kernel_tier = result.extra.get("kernel_tier") or native_dispatch.active_tier()
     if result.report is not None:
         record.simulated_seconds = result.report.total_simulated_seconds
         record.breakdown = result.report.breakdown()

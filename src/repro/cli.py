@@ -13,7 +13,9 @@ Five subcommands cover the common workflows:
 * ``rt-dbscan experiment``  — regenerate one of the paper's tables/figures
   (by experiment id, see ``rt-dbscan list``) and print the report;
 * ``rt-dbscan list``        — list available datasets, streams, algorithms,
-  neighbour backends and experiments.
+  neighbour backends and experiments;
+* ``rt-dbscan native``      — diagnose the optional compiled kernel tier
+  (build status, cache location, fallback reason).
 
 Algorithms and neighbour backends are resolved from the registries in
 :mod:`repro.api.registry`: ``--algo rt-dbscan --backend kdtree`` (or the
@@ -176,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--workers", type=int, default=None,
                            help="tile-fit parallelism for the ParallelMap executor "
                                 "(default serial)")
+    p_cluster.add_argument("--native", choices=("auto", "on", "off"), default="auto",
+                           help="kernel tier for algorithms tagged [native]: compiled "
+                                "C hot loops (on), pure numpy (off), or the "
+                                "REPRO_NATIVE environment default (auto); labels are "
+                                "identical either way")
     p_cluster.add_argument("--recall-target", type=float, default=None,
                            help="lsh backend: per-edge recall target in (0, 1]; "
                                 "1.0 falls back to the exact exhaustive sweep")
@@ -267,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     # -- list ------------------------------------------------------------ #
     sub.add_parser("list", help="list datasets, algorithms, backends and experiments")
+
+    # -- native ----------------------------------------------------------- #
+    p_native = sub.add_parser(
+        "native", help="diagnose the optional compiled (cffi) kernel tier"
+    )
+    p_native.add_argument("--json", action="store_true",
+                          help="print the status dictionary as JSON")
     return parser
 
 
@@ -294,6 +308,7 @@ def _tiled_algorithm_name(algorithm: str, tiles: int | None) -> str:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     algorithm = _tiled_algorithm_name(args.algorithm, args.tiles)
+    native = {"auto": None, "on": True, "off": False}[args.native]
     backend_kwargs = {
         knob: value
         for knob, value in (
@@ -311,7 +326,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         spec = ClustererSpec(
             algo=algorithm, eps=args.eps, min_pts=args.min_pts,
             backend=args.backend, tiles=args.tiles, workers=args.workers,
-            params=params,
+            native=native, params=params,
         )
         _, resolved_backend = spec.resolve()
     except (KeyError, ValueError) as exc:
@@ -331,6 +346,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         extra_kwargs["tiles"] = args.tiles
     if args.workers is not None:
         extra_kwargs["workers"] = args.workers
+    if native is not None:
+        extra_kwargs["native"] = native
     if backend_kwargs:
         extra_kwargs["backend_kwargs"] = backend_kwargs
     record = run_single(
@@ -475,12 +492,19 @@ def _cmd_list(_: argparse.Namespace) -> int:
             tags.append("partial_fit")
         if entry.supports_tiles:
             tags.append("tiles")
+        if entry.supports_native:
+            tags.append("native")
         suffix = f"  [{', '.join(tags)}]" if tags else ""
         print(f"  {name:<22} {entry.description}{suffix}")
     print("neighbour backends (for algorithms tagged [backends]):")
     for name in list_backends():
         entry = get_backend(name)
-        suffix = "  [approximate]" if not entry.exact else ""
+        tags = []
+        if not entry.exact:
+            tags.append("approximate")
+        if entry.native:
+            tags.append("native")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
         print(f"  {name:<22} {entry.description}{suffix}")
     print("experiments:")
     for exp_id in list_experiments():
@@ -491,6 +515,24 @@ def _cmd_list(_: argparse.Namespace) -> int:
         sspec = get_streaming_experiment(exp_id)
         print(f"  {exp_id:<13} {sspec.title}")
     return 0
+
+
+def _cmd_native(args: argparse.Namespace) -> int:
+    from .native import dispatch as native_dispatch
+
+    status = native_dispatch.status()
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print("native kernel tier (cffi-compiled C hot loops):")
+    print(f"  mode:            {status['mode']}  (REPRO_NATIVE={status['env'] or 'unset'})")
+    print(f"  active:          {status['active']}")
+    print(f"  built:           {status['built']}")
+    print(f"  module:          {status['module'] or 'n/a'}")
+    print(f"  cache dir:       {status['cache_dir']}")
+    if status["fallback_reason"]:
+        print(f"  fallback reason: {status['fallback_reason']}")
+    return 0 if status["active"] or status["mode"] == "off" else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -507,6 +549,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "native":
+        return _cmd_native(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

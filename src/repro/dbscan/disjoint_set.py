@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..native import dispatch as native_dispatch
+
 __all__ = ["DisjointSet", "ParallelDisjointSet"]
 
 
@@ -125,6 +127,15 @@ class ParallelDisjointSet:
         hooks = 0
         if a.size == 0:
             return hooks
+        nk = native_dispatch.kernels()
+        if nk is not None and self.parent.flags.c_contiguous:
+            # The C kernel runs the identical freeze-roots / min-hook /
+            # compress rounds, so the hook count (and therefore the charged
+            # union_ops) matches the numpy iteration exactly.
+            native_hooks = nk.uf_union_edges(self.parent, a.ravel(), b.ravel())
+            if native_hooks is not None:
+                self.num_unions += native_hooks
+                return native_hooks
         while True:
             ra = self.find_many(a)
             rb = self.find_many(b)

@@ -31,6 +31,7 @@ labels stay bit-identical to this class's.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +39,7 @@ import numpy as np
 from ..api.protocol import ClustererMixin
 from ..api.registry import make_backend, register_algorithm
 from ..geometry.transforms import ensure_points3d
+from ..native import dispatch as native_dispatch
 from ..perf.cost_model import OpCounts
 from ..perf.timing import PhaseTimer
 from ..rtcore.device import RTDevice
@@ -51,6 +53,7 @@ __all__ = ["RTDBSCAN", "rt_dbscan"]
     "rt-dbscan",
     description="The paper's Algorithm 3 on the simulated RT device (pluggable backends).",
     supports_backend=True,
+    supports_native=True,
 )
 @dataclass
 class RTDBSCAN(ClustererMixin):
@@ -89,6 +92,12 @@ class RTDBSCAN(ClustererMixin):
         Store the per-point neighbour counts (and the points) in the result
         so that :meth:`DBSCANResult.refit` can relabel with a different
         ``min_pts`` without a second stage-1 launch (Section VI-B).
+    native:
+        Kernel-tier override for this fit: ``True`` forces the compiled C
+        kernels, ``False`` forces pure numpy, ``None`` (default) defers to
+        the ``REPRO_NATIVE`` environment knob.  Labels and charged operation
+        counts are identical either way; the tier actually used is recorded
+        as ``result.extra["kernel_tier"]``.
     """
 
     eps: float
@@ -102,6 +111,7 @@ class RTDBSCAN(ClustererMixin):
     triangle_subdivisions: int = 0
     keep_neighbor_counts: bool = True
     backend_kwargs: dict | None = None
+    native: bool | None = None
 
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
@@ -130,6 +140,15 @@ class RTDBSCAN(ClustererMixin):
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points`` and return the labelling with its timing report."""
+        ctx = (
+            native_dispatch.override(self.native)
+            if self.native is not None
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            return self._fit(points)
+
+    def _fit(self, points: np.ndarray) -> DBSCANResult:
         pts3 = ensure_points3d(points)
         n = pts3.shape[0]
         timer = PhaseTimer("rt-dbscan", self.device.cost_model)
@@ -216,6 +235,7 @@ class RTDBSCAN(ClustererMixin):
             extra={
                 "build_seconds": finder.build_seconds if finder else 0.0,
                 "backend": self.backend,
+                "kernel_tier": native_dispatch.active_tier(),
                 **(
                     {"backend_kwargs": dict(self.backend_kwargs)}
                     if self.backend_kwargs

@@ -1,0 +1,21 @@
+"""Optional native (C) kernel tier.
+
+A small cffi-built extension implementing the four hottest numpy loops —
+grid stencil gather, blocked brute force, BVH sphere queries and the batched
+union-find — with byte-identical results.  See :mod:`repro.native.dispatch`
+for the dispatch rules (``REPRO_NATIVE`` env knob, per-fit overrides, lazy
+cached builds, silent numpy fallback).
+"""
+
+from . import dispatch
+from .dispatch import active_tier, available, kernels, mode, override, status
+
+__all__ = [
+    "dispatch",
+    "active_tier",
+    "available",
+    "kernels",
+    "mode",
+    "override",
+    "status",
+]

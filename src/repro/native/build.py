@@ -1,0 +1,121 @@
+"""cffi API-mode build of the native kernel extension.
+
+The C source lives in ``_kernels.c`` next to this module.  Builds are lazy
+(first kernel request, never at import time) and cached on disk under the
+package's ``_build/`` directory: the extension module's name embeds a hash of
+the C source and the cdef, so editing the kernels produces a new module name
+and a stale cache can never be loaded.  Everything here raises on failure —
+:mod:`repro.native.dispatch` catches, records the reason once and falls back
+to the numpy tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+from pathlib import Path
+
+__all__ = ["CDEF", "cache_dir", "kernel_source", "module_name", "load_kernels"]
+
+#: The C declarations shared by the compiler and the ffi object.
+CDEF = """
+void repro_grid_scan(
+    const double *qpts, int64_t nq,
+    const double *points,
+    const int64_t *order,
+    const int64_t *cell_table, const int64_t *cell_indptr, int64_t ncells,
+    const double *origin, double cell_size, const int64_t *dims,
+    double r2, int self_query,
+    const int64_t *indptr,
+    int64_t *row_counts,
+    int64_t *indices,
+    int64_t *candidates_out);
+
+void repro_brute_block(
+    const double *queries, int64_t nqb, int d,
+    const double *data_t, int64_t nd,
+    double r2,
+    const int64_t *indptr,
+    int64_t *row_counts,
+    int64_t *indices);
+
+void repro_bvh_sphere(
+    const double *qpts, int64_t nq,
+    const double *confirm_pts,
+    const double *node_lo, const double *node_hi,
+    const int64_t *children, const uint8_t *leaf_mask,
+    const int64_t *prim_start, const int64_t *prim_count,
+    const int64_t *prim_indices,
+    const double *centers, double r2,
+    int exclude_self, const int64_t *self_map, const uint8_t *active,
+    int64_t *stack,
+    const int64_t *indptr,
+    int64_t *row_counts,
+    int64_t *indices,
+    int64_t *stats_out);
+
+int64_t repro_uf_union_edges(
+    int64_t *parent, int64_t n,
+    const int64_t *a, const int64_t *b, int64_t ne);
+"""
+
+#: No -ffast-math: the kernels must stay bit-compatible with numpy.
+COMPILE_ARGS = ["-O3", "-march=native", "-fno-math-errno"]
+
+
+def kernel_source() -> str:
+    """The C source of the kernels (raises if the file is missing)."""
+    return (Path(__file__).parent / "_kernels.c").read_text()
+
+
+def cache_dir() -> Path:
+    """On-disk build cache directory (created on demand, gitignored)."""
+    return Path(__file__).parent / "_build"
+
+
+def module_name(source: str | None = None) -> str:
+    """Extension module name derived from the source + cdef hash."""
+    if source is None:
+        source = kernel_source()
+    digest = hashlib.sha256((CDEF + source).encode()).hexdigest()[:12]
+    return f"_repro_kernels_{digest}"
+
+
+def _load_extension(name: str, directory: Path):
+    """Import a previously built extension module from the cache directory."""
+    matches = sorted(directory.glob(f"{name}*.so"))
+    if not matches:
+        return None
+    loader = importlib.machinery.ExtensionFileLoader(name, str(matches[0]))
+    spec = importlib.util.spec_from_loader(name, loader)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+def load_kernels():
+    """Return ``(lib, ffi)`` for the compiled kernels, building if needed.
+
+    Raises on any failure (no cffi, no compiler, compile error); the dispatch
+    layer translates that into a recorded numpy fallback.
+    """
+    source = kernel_source()
+    name = module_name(source)
+    directory = cache_dir()
+
+    module = _load_extension(name, directory)
+    if module is None:
+        from cffi import FFI
+
+        builder = FFI()
+        builder.cdef(CDEF)
+        builder.set_source(name, source, extra_compile_args=COMPILE_ARGS)
+        directory.mkdir(parents=True, exist_ok=True)
+        builder.compile(tmpdir=str(directory), verbose=False)
+        module = _load_extension(name, directory)
+        if module is None:
+            raise RuntimeError(
+                f"cffi reported success but no {name}*.so in {directory}"
+            )
+    return module.lib, module.ffi

@@ -1,0 +1,360 @@
+"""Native-tier dispatch: the single decision point for numpy vs C kernels.
+
+Call sites (the grid/brute neighbour backends, the RT sphere launch, the
+batched union-find) ask :func:`kernels` for a :class:`NativeKernels` handle
+and fall back to their numpy path when it returns ``None``.  The answer is
+governed by, in priority order:
+
+1. the :func:`override` context manager (the ``native=`` field on
+   ``ClustererSpec`` / ``RTDBSCAN`` pushes one around a fit),
+2. the ``REPRO_NATIVE`` environment variable — ``0`` (off), ``1`` (on) or
+   anything else / unset (``auto``), read at call time, and
+3. availability: the cffi extension is compiled lazily on the first request
+   and cached on disk (see :mod:`repro.native.build`).  A failed build is
+   recorded once, logged once, and every subsequent request returns ``None``
+   — the numpy tier keeps working and nothing ever raises out of here.
+
+``REPRO_NATIVE=0`` (or an active ``override(False)``) short-circuits before
+any build attempt, so disabling the tier guarantees no compiler is invoked.
+The numpy and native paths produce byte-identical CSR adjacencies, labels and
+charged operation counts; the tier only changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "NativeKernels",
+    "kernels",
+    "available",
+    "active_tier",
+    "mode",
+    "override",
+    "status",
+]
+
+_log = logging.getLogger("repro.native")
+
+_lock = threading.Lock()
+_state: dict = {"attempted": False, "kernels": None, "reason": None}
+_override_stack: list[bool] = []
+
+_OFF_VALUES = frozenset(("0", "false", "off", "no"))
+_ON_VALUES = frozenset(("1", "true", "on", "yes"))
+
+
+def _env_mode() -> str:
+    raw = os.environ.get("REPRO_NATIVE", "auto").strip().lower()
+    if raw in _OFF_VALUES:
+        return "off"
+    if raw in _ON_VALUES:
+        return "on"
+    return "auto"
+
+
+def mode() -> str:
+    """Effective mode right now: ``"off"``, ``"on"`` or ``"auto"``.
+
+    An active :func:`override` wins over the ``REPRO_NATIVE`` environment
+    variable; both are consulted at call time, never cached.
+    """
+    if _override_stack:
+        return "on" if _override_stack[-1] else "off"
+    return _env_mode()
+
+
+def _load() -> "NativeKernels | None":
+    with _lock:
+        if not _state["attempted"]:
+            _state["attempted"] = True
+            try:
+                if np.dtype(np.intp).itemsize != 8:
+                    raise RuntimeError("native kernels require 64-bit intp")
+                from .build import load_kernels
+
+                lib, ffi = load_kernels()
+                _state["kernels"] = NativeKernels(lib, ffi)
+            except Exception as exc:  # never propagate: numpy tier still works
+                _state["reason"] = f"{type(exc).__name__}: {exc}"
+                _log.warning(
+                    "native kernel tier unavailable, using numpy fallback: %s",
+                    exc,
+                )
+        return _state["kernels"]
+
+
+def kernels() -> "NativeKernels | None":
+    """The native kernel handle, or ``None`` when the numpy tier should run.
+
+    Returns ``None`` without any build attempt when the effective mode is
+    ``"off"``; otherwise triggers (at most once) the lazy compile.
+    """
+    if mode() == "off":
+        return None
+    return _load()
+
+
+def available() -> bool:
+    """Whether a native call made right now would use the C kernels."""
+    return kernels() is not None
+
+
+def active_tier() -> str:
+    """``"native"`` or ``"numpy"`` — the tier a fit started now would use."""
+    return "native" if available() else "numpy"
+
+
+@contextmanager
+def override(enabled: bool):
+    """Force the tier on/off for the dynamic extent of a ``with`` block.
+
+    This is how the ``native=`` field of ``ClustererSpec`` / ``RTDBSCAN`` is
+    applied around a single fit without touching process-wide environment.
+    """
+    _override_stack.append(bool(enabled))
+    try:
+        yield
+    finally:
+        _override_stack.pop()
+
+
+def status() -> dict:
+    """Diagnostic snapshot for the ``rt-dbscan native`` CLI subcommand."""
+    from .build import cache_dir, module_name
+
+    try:
+        name = module_name()
+    except OSError:  # pragma: no cover - missing _kernels.c
+        name = None
+    current = mode()
+    if current != "off":
+        _load()  # make 'built'/'reason' reflect an actual attempt
+    return {
+        "mode": current,
+        "env": os.environ.get("REPRO_NATIVE", None),
+        "active": available(),
+        "built": _state["kernels"] is not None,
+        "attempted": _state["attempted"],
+        "fallback_reason": (
+            "disabled via REPRO_NATIVE=0 / override" if current == "off" else _state["reason"]
+        ),
+        "module": name,
+        "cache_dir": str(cache_dir()),
+    }
+
+
+def _reset_for_testing() -> None:
+    """Forget any build attempt and overrides (test hook)."""
+    with _lock:
+        _state.update({"attempted": False, "kernels": None, "reason": None})
+    _override_stack.clear()
+
+
+# ------------------------------------------------------------------------- #
+# Thin typed wrappers over the compiled library.
+# ------------------------------------------------------------------------- #
+def _is_c_f64(arr: np.ndarray) -> bool:
+    return arr.dtype == np.float64 and arr.flags.c_contiguous
+
+
+def _is_c_i64(arr: np.ndarray) -> bool:
+    return (
+        arr.dtype.kind == "i"
+        and arr.dtype.itemsize == 8
+        and arr.flags.c_contiguous
+    )
+
+
+class NativeKernels:
+    """Bound cffi library + the numpy-facing call wrappers.
+
+    Every wrapper validates dtypes/contiguity and returns ``None`` when a
+    precondition fails, which the call site treats exactly like an absent
+    native tier — the numpy path runs instead.
+    """
+
+    def __init__(self, lib, ffi) -> None:
+        self.lib = lib
+        self.ffi = ffi
+
+    # -- buffer helpers ------------------------------------------------- #
+    def _f64(self, arr: np.ndarray):
+        return self.ffi.from_buffer("double[]", arr)
+
+    def _i64(self, arr: np.ndarray):
+        return self.ffi.from_buffer("int64_t[]", arr)
+
+    def _i64w(self, arr: np.ndarray):
+        return self.ffi.from_buffer("int64_t[]", arr, require_writable=True)
+
+    def _u8(self, arr: np.ndarray):
+        return self.ffi.from_buffer("uint8_t[]", arr)
+
+    # -- grid ------------------------------------------------------------ #
+    def grid_scan(
+        self,
+        qpts: np.ndarray,
+        points: np.ndarray,
+        order: np.ndarray,
+        cell_table: np.ndarray,
+        cell_indptr: np.ndarray,
+        origin: np.ndarray,
+        cell_size: float,
+        dims: np.ndarray,
+        r2: float,
+        self_query: bool,
+        *,
+        indptr: np.ndarray | None = None,
+        row_counts: np.ndarray | None = None,
+        indices: np.ndarray | None = None,
+    ) -> int | None:
+        """One stencil-gather pass; returns the charged candidate total."""
+        arrays_f = (qpts, points, origin)
+        arrays_i = (order, cell_table, cell_indptr, dims)
+        if not all(_is_c_f64(a) for a in arrays_f):
+            return None
+        if not all(_is_c_i64(a) for a in arrays_i):
+            return None
+        if qpts.ndim != 2 or qpts.shape[1] != 3 or points.shape[1:] != (3,):
+            return None
+        cand_out = np.zeros(1, dtype=np.int64)
+        self.lib.repro_grid_scan(
+            self._f64(qpts),
+            qpts.shape[0],
+            self._f64(points),
+            self._i64(order),
+            self._i64(cell_table),
+            self._i64(cell_indptr),
+            cell_table.shape[0],
+            self._f64(origin),
+            float(cell_size),
+            self._i64(dims),
+            float(r2),
+            1 if self_query else 0,
+            self.ffi.NULL if indptr is None else self._i64(indptr),
+            self.ffi.NULL if row_counts is None else self._i64w(row_counts),
+            self.ffi.NULL if indices is None else self._i64w(indices),
+            self._i64w(cand_out),
+        )
+        return int(cand_out[0])
+
+    # -- brute ----------------------------------------------------------- #
+    def brute_block(
+        self,
+        queries_block: np.ndarray,
+        data_t: np.ndarray,
+        r2: float,
+        *,
+        indptr: np.ndarray | None = None,
+        row_counts: np.ndarray | None = None,
+        indices: np.ndarray | None = None,
+    ) -> bool:
+        """Exact componentwise sweep of one query block against all data."""
+        if not (_is_c_f64(queries_block) and _is_c_f64(data_t)):
+            return False
+        d = queries_block.shape[1]
+        if d not in (2, 3) or data_t.shape[0] != d:
+            return False
+        self.lib.repro_brute_block(
+            self._f64(queries_block),
+            queries_block.shape[0],
+            int(d),
+            self._f64(data_t),
+            data_t.shape[1],
+            float(r2),
+            self.ffi.NULL if indptr is None else self._i64(indptr),
+            self.ffi.NULL if row_counts is None else self._i64w(row_counts),
+            self.ffi.NULL if indices is None else self._i64w(indices),
+        )
+        return True
+
+    # -- bvh sphere query ------------------------------------------------ #
+    def bvh_sphere(
+        self,
+        qpts: np.ndarray,
+        confirm_pts: np.ndarray,
+        bvh,
+        centers: np.ndarray,
+        r2: float,
+        *,
+        exclude_self: bool = False,
+        self_map: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+        stack: np.ndarray,
+        indptr: np.ndarray | None = None,
+        row_counts: np.ndarray | None = None,
+        indices: np.ndarray | None = None,
+        stats: np.ndarray | None = None,
+    ) -> bool:
+        """One DFS sphere-query pass over ``bvh`` (count or fill mode)."""
+        arrays_f = (qpts, confirm_pts, bvh.node_lower, bvh.node_upper, centers)
+        arrays_i = (bvh.children, bvh.prim_start, bvh.prim_count, bvh.prim_indices)
+        if not all(_is_c_f64(a) for a in arrays_f):
+            return False
+        if not all(_is_c_i64(a) for a in arrays_i):
+            return False
+        leaf_mask = bvh.leaf_mask
+        if leaf_mask.dtype != np.bool_ or not leaf_mask.flags.c_contiguous:
+            return False
+        if qpts.shape[1] != 3 or confirm_pts.shape[0] < qpts.shape[0]:
+            return False
+        if self_map is not None and not (
+            _is_c_i64(self_map) and self_map.shape[0] >= qpts.shape[0]
+        ):
+            return False
+        if active is not None and not (
+            active.dtype == np.bool_
+            and active.flags.c_contiguous
+            and active.shape[0] >= centers.shape[0]
+        ):
+            return False
+        self.lib.repro_bvh_sphere(
+            self._f64(qpts),
+            qpts.shape[0],
+            self._f64(confirm_pts),
+            self._f64(bvh.node_lower),
+            self._f64(bvh.node_upper),
+            self._i64(bvh.children),
+            self._u8(leaf_mask.view(np.uint8)),
+            self._i64(bvh.prim_start),
+            self._i64(bvh.prim_count),
+            self._i64(bvh.prim_indices),
+            self._f64(centers),
+            float(r2),
+            1 if exclude_self else 0,
+            self.ffi.NULL if self_map is None else self._i64(self_map),
+            self.ffi.NULL if active is None else self._u8(active.view(np.uint8)),
+            self._i64w(stack),
+            self.ffi.NULL if indptr is None else self._i64(indptr),
+            self.ffi.NULL if row_counts is None else self._i64w(row_counts),
+            self.ffi.NULL if indices is None else self._i64w(indices),
+            self.ffi.NULL if stats is None else self._i64w(stats),
+        )
+        return True
+
+    # -- union-find ------------------------------------------------------ #
+    def uf_union_edges(
+        self, parent: np.ndarray, a: np.ndarray, b: np.ndarray
+    ) -> int | None:
+        """Batched hook-and-jump rounds; returns hooks or ``None`` (fallback)."""
+        if not (_is_c_i64(parent) and parent.flags.writeable):
+            return None
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        n = parent.shape[0]
+        if a.size == 0:
+            return 0
+        # The C kernel chases parent pointers unchecked; validate the edge
+        # endpoints here (the numpy path would raise IndexError instead).
+        if min(a.min(), b.min()) < 0 or max(a.max(), b.max()) >= n:
+            return None
+        hooks = self.lib.repro_uf_union_edges(
+            self._i64w(parent), n, self._i64(a), self._i64(b), a.shape[0]
+        )
+        return None if hooks < 0 else int(hooks)

@@ -37,6 +37,7 @@ import numpy as np
 from ..adjacency import csr_row_ids, expand_ranges
 from ..api.registry import register_backend
 from ..geometry.transforms import ensure_points3d
+from ..native import dispatch as native_dispatch
 from ..perf.cost_model import OpCounts
 from ..rtcore.counters import LaunchStats
 from ..rtcore.device import RTDevice
@@ -207,6 +208,7 @@ class _HostNeighborBackend:
 @register_backend(
     "brute",
     description="Exact all-pairs distance search on the shader cores (O(n^2), index-free).",
+    native=True,
 )
 @dataclass
 class BruteNeighborBackend(_HostNeighborBackend):
@@ -239,6 +241,7 @@ class BruteNeighborBackend(_HostNeighborBackend):
 @register_backend(
     "grid",
     description="Uniform ε-cell grid (the CUDA-DClust+ / DenseBox index) on the shader cores.",
+    native=True,
 )
 @dataclass
 class GridNeighborBackend(_HostNeighborBackend):
@@ -257,7 +260,43 @@ class GridNeighborBackend(_HostNeighborBackend):
         self._mem_label = f"grid_backend_{id(self)}"
         self.device.memory.allocate(self._mem_label, self.grid.memory_bytes())
 
+    def _scan_native(self, qpts, self_query, collect):
+        """The stencil sweep on the native tier (or ``None`` to use numpy).
+
+        One C pass counts per-row hits (and the charged candidate total), a
+        second fills the pre-sized canonical CSR fragment — byte-identical to
+        the numpy block sweep below.
+        """
+        nk = native_dispatch.kernels()
+        if nk is None:
+            return None
+        grid = self.grid
+        qpts = np.ascontiguousarray(qpts)
+        row_counts = np.zeros(qpts.shape[0], dtype=np.int64)
+        candidates = nk.grid_scan(
+            qpts, self.points, grid.order, grid.cell_table, grid.cell_indptr,
+            grid.origin, grid.cell_size, grid.dims,
+            self.radius * self.radius, self_query, row_counts=row_counts,
+        )
+        if candidates is None:
+            return None
+        if not collect:
+            return row_counts, None, candidates, 0
+        indptr = np.zeros(qpts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.intp)
+        nk.grid_scan(
+            qpts, self.points, grid.order, grid.cell_table, grid.cell_indptr,
+            grid.origin, grid.cell_size, grid.dims,
+            self.radius * self.radius, self_query,
+            indptr=indptr, indices=indices,
+        )
+        return row_counts, [indices], candidates, 0
+
     def _scan(self, qpts, self_query, collect):
+        native = self._scan_native(qpts, self_query, collect)
+        if native is not None:
+            return native
         r2 = self.radius * self.radius
         nq = qpts.shape[0]
         row_counts = np.zeros(nq, dtype=np.int64)

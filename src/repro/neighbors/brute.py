@@ -24,12 +24,40 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from ..native import dispatch as native_dispatch
+
 __all__ = [
     "brute_force_neighbors",
     "brute_force_neighbor_counts",
     "pairwise_within",
     "pairwise_within_blocks",
 ]
+
+
+def _pairwise_blocks_native(
+    nk, queries: np.ndarray, data: np.ndarray, r2: float, block_size: int
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """The blocked sweep on the native tier (same yield contract as numpy).
+
+    The C kernel evaluates the exact componentwise ``(q - p)²`` test directly
+    — the set the prescreen + confirm pipeline is guaranteed to produce — so
+    the emitted fragments are byte-identical.  Data is transposed once into
+    SoA layout so the inner distance loop vectorises.
+    """
+    queries = np.ascontiguousarray(queries)
+    data_t = np.ascontiguousarray(data.T)
+    nq = queries.shape[0]
+    for lo in range(0, nq, block_size):
+        hi = min(nq, lo + block_size)
+        block = queries[lo:hi]
+        counts = np.zeros(hi - lo, dtype=np.int64)
+        nk.brute_block(block, data_t, r2, row_counts=counts)
+        indptr = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        di = np.empty(int(indptr[-1]), dtype=np.intp)
+        nk.brute_block(block, data_t, r2, indptr=indptr, indices=di)
+        qi = np.repeat(np.arange(lo, hi, dtype=np.intp), counts)
+        yield lo, qi, di
 
 
 def pairwise_within_blocks(
@@ -59,6 +87,11 @@ def pairwise_within_blocks(
         # consumers still see every row.
         for lo in range(0, queries.shape[0], block_size):
             yield lo, np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        return
+
+    nk = native_dispatch.kernels()
+    if nk is not None and data.shape[1] in (2, 3):
+        yield from _pairwise_blocks_native(nk, queries, data, r2, block_size)
         return
 
     # Centre both sets with one shared offset: the prescreen's error margin

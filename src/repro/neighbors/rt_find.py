@@ -31,6 +31,7 @@ __all__ = ["RTNeighborFinder", "rt_find_neighbors"]
 @register_backend(
     "rt",
     description="ε-sphere ray queries on the simulated RT cores (the paper's Algorithm 2).",
+    native=True,
 )
 @dataclass
 class RTNeighborFinder:
@@ -117,7 +118,19 @@ class RTNeighborFinder:
             d = query_pts[query_idx] - targets
             return np.einsum("ij,ij->i", d, d) <= r2
 
-        return ProgramGroup(intersection=intersection, name="external-queries")
+        payload = {}
+        if not self.triangle_mode:
+            # Native-tier descriptor: external queries confirm against their
+            # own coordinates and carry no self filter.
+            payload["native_sphere"] = {
+                "centers": centers,
+                "confirm_pts": query_pts,
+                "r2": r2,
+                "exclude_self": False,
+            }
+        return ProgramGroup(
+            intersection=intersection, name="external-queries", payload=payload
+        )
 
     def neighbor_counts(
         self, queries: np.ndarray | None = None, *, min_count: int | None = None

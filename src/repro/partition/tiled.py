@@ -30,6 +30,7 @@ bound an actual multi-GPU deployment would see.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +38,7 @@ import numpy as np
 from ..adjacency import csr_row_ids
 from ..api.protocol import ClustererMixin
 from ..api.registry import make_backend, register_algorithm
+from ..native import dispatch as native_dispatch
 from ..dbscan.params import DBSCANParams, DBSCANResult
 from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import DeviceCostModel, OpCounts
@@ -73,6 +75,10 @@ class TileJob:
     backend_kwargs: dict
     cost_model: DeviceCostModel
     has_rt_cores: bool = True
+    #: kernel-tier override for the tile fit.  Carried in the job (not read
+    #: from the parent's dispatcher) so process-pool workers — fresh
+    #: interpreters with their own dispatch state — honour it too.
+    native: bool | None = None
 
 
 @dataclass
@@ -142,21 +148,27 @@ def run_tile(job: TileJob) -> TileRunResult:
         has_rt_cores=job.has_rt_cores,
         name=f"sim-shard-{job.tile_id}",
     )
-    finder = make_backend(
-        job.backend, points, job.eps, device=device, **job.backend_kwargs
+    ctx = (
+        native_dispatch.override(job.native)
+        if job.native is not None
+        else contextlib.nullcontext()
     )
-    try:
-        owned_pts = points[: job.num_owned]
+    with ctx:
+        finder = make_backend(
+            job.backend, points, job.eps, device=device, **job.backend_kwargs
+        )
+        try:
+            owned_pts = points[: job.num_owned]
 
-        counts_with_self, stats1 = finder.neighbor_counts(owned_pts)
-        neighbor_counts = counts_with_self.astype(np.int64) - 1
-        core_mask = neighbor_counts >= job.min_pts
+            counts_with_self, stats1 = finder.neighbor_counts(owned_pts)
+            neighbor_counts = counts_with_self.astype(np.int64) - 1
+            core_mask = neighbor_counts >= job.min_pts
 
-        indptr, ind_loc, stats2 = finder.neighbor_csr(owned_pts)
-        build_seconds = finder.build_seconds
-        build_prims = finder.num_prims
-    finally:
-        finder.release()
+            indptr, ind_loc, stats2 = finder.neighbor_csr(owned_pts)
+            build_seconds = finder.build_seconds
+            build_prims = finder.num_prims
+        finally:
+            finder.release()
 
     # Strip the self hit: row i of the shard CSR belongs to local point i
     # (owned points lead the local ordering), so the self entry is the one
@@ -194,6 +206,7 @@ def run_tile(job: TileJob) -> TileRunResult:
     description="Algorithm 3 sharded over spatial tiles with eps-halo boundary merge.",
     supports_backend=True,
     supports_tiles=True,
+    supports_native=True,
 )
 @dataclass
 class TiledRTDBSCAN(ClustererMixin):
@@ -234,6 +247,11 @@ class TiledRTDBSCAN(ClustererMixin):
     keep_neighbor_counts:
         Store per-point neighbour counts and points in the result so
         :meth:`DBSCANResult.refit` works, as in the untiled pipeline.
+    native:
+        Kernel-tier override, carried into every tile job (so process-pool
+        workers honour it too): ``True`` forces the compiled C kernels,
+        ``False`` forces pure numpy, ``None`` defers to ``REPRO_NATIVE``.
+        Labels and charged operation counts are identical either way.
     """
 
     eps: float
@@ -249,6 +267,7 @@ class TiledRTDBSCAN(ClustererMixin):
     chunk_size: int = 16384
     keep_neighbor_counts: bool = True
     backend_kwargs: dict | None = None
+    native: bool | None = None
 
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
@@ -313,6 +332,7 @@ class TiledRTDBSCAN(ClustererMixin):
                 backend_kwargs=self._backend_kwargs(),
                 cost_model=self.device.cost_model,
                 has_rt_cores=self.device.has_rt_cores,
+                native=self.native,
             )
             for t, (p_arr, i_arr) in zip(tiles, payloads)
         ]
@@ -321,6 +341,17 @@ class TiledRTDBSCAN(ClustererMixin):
     # ------------------------------------------------------------------ #
     def fit(self, points: np.ndarray) -> DBSCANResult:
         """Cluster ``points``; labels are bit-identical to an untiled run."""
+        # The override also covers the parent-side merge (its union-find
+        # consults the dispatcher); tile workers get it via TileJob.native.
+        ctx = (
+            native_dispatch.override(self.native)
+            if self.native is not None
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            return self._fit(points)
+
+    def _fit(self, points: np.ndarray) -> DBSCANResult:
         pts3 = ensure_points3d(points)
         n = pts3.shape[0]
         executor = as_parallel_map(self.workers, mode=self.executor_mode)
@@ -415,6 +446,7 @@ class TiledRTDBSCAN(ClustererMixin):
             points=pts3 if self.keep_neighbor_counts else None,
             extra={
                 "backend": self.backend,
+                "kernel_tier": native_dispatch.active_tier(),
                 "build_seconds": sum(r.build_seconds for r in results),
                 "num_tiles": len(tiles),
                 "num_boundary_pairs": merged.num_boundary_pairs,

@@ -127,6 +127,18 @@ class OWLContext:
                 spheres.centers, radius, exclude_self=exclude_self
             ),
             name=name,
+            # Descriptor for the optional native (C) tier: the sphere program
+            # above is ``d(centers[q], centers[p])² <= r²`` with an optional
+            # index self filter, which the native BVH kernel replicates
+            # bit-for-bit (see repro.rtcore.pipeline._native_sphere_query).
+            payload={
+                "native_sphere": {
+                    "centers": spheres.centers,
+                    "confirm_pts": spheres.centers,
+                    "r2": float(radius) ** 2,
+                    "exclude_self": bool(exclude_self),
+                }
+            },
         )
         geom_type = OWLGeomType(kind="spheres", programs=programs, name=name)
         return geom_type, OWLGeom(geom_type, spheres)

@@ -33,15 +33,74 @@ from ..bvh.traversal import (
     point_query_csr,
     point_query_pairs,
 )
+from ..bvh.traversal import TraversalStats
 from ..geometry.sphere import SphereGeometry
 from ..geometry.transforms import ensure_points3d
 from ..geometry.triangle import TriangleGeometry
+from ..native import dispatch as native_dispatch
 from ..perf.cost_model import OpCounts
 from .counters import LaunchStats
 from .device import RTDevice
 from .programs import ProgramGroup
 
 __all__ = ["ScenePipeline"]
+
+
+def _native_sphere_query(bvh, pts: np.ndarray, programs: ProgramGroup, collect: bool):
+    """Run a sphere-program launch on the native tier, if possible.
+
+    Engages only when the program group carries a ``native_sphere`` payload
+    (the descriptor the sphere-geometry constructors attach; see
+    :mod:`repro.rtcore.programs`) and the native kernels are active.  Returns
+    ``None`` to run the numpy traversal, else ``(row_counts, traversal)`` in
+    counting mode or ``(indptr, indices, traversal)`` in CSR mode — all
+    byte-identical to the numpy kernels, stats included.
+    """
+    desc = programs.payload.get("native_sphere")
+    if desc is None:
+        return None
+    nk = native_dispatch.kernels()
+    if nk is None:
+        return None
+    qpts = np.ascontiguousarray(pts)
+    confirm_pts = desc["confirm_pts"]
+    centers = desc["centers"]
+    if confirm_pts.shape[0] < qpts.shape[0]:
+        return None
+    nq = qpts.shape[0]
+    stack = np.empty(2 * (bvh.node_lower.shape[0] + 2), dtype=np.int64)
+    row_counts = np.zeros(nq, dtype=np.int64)
+    stats_buf = np.zeros(5, dtype=np.int64)
+    kwargs = dict(
+        exclude_self=desc.get("exclude_self", False),
+        self_map=desc.get("self_map"),
+        active=desc.get("active"),
+        stack=stack,
+    )
+    ok = nk.bvh_sphere(
+        qpts, confirm_pts, bvh, centers, desc["r2"],
+        row_counts=row_counts, stats=stats_buf, **kwargs,
+    )
+    if not ok:
+        return None
+    traversal = TraversalStats(
+        queries=nq,
+        node_visits=int(stats_buf[0]),
+        leaf_visits=int(stats_buf[1]),
+        candidates=int(stats_buf[2]),
+        confirmed=int(stats_buf[3]),
+        levels=int(stats_buf[4]),
+    )
+    if not collect:
+        return row_counts, traversal
+    indptr = np.zeros(nq + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.intp)
+    nk.bvh_sphere(
+        qpts, confirm_pts, bvh, centers, desc["r2"],
+        indptr=indptr, indices=indices, **kwargs,
+    )
+    return indptr, indices, traversal
 
 
 @dataclass
@@ -207,9 +266,13 @@ class ScenePipeline:
 
         bvh = self._require_accel()
         pts = ensure_points3d(np.atleast_2d(np.asarray(points, dtype=np.float64)))
-        indptr, indices, traversal = point_query_csr(
-            bvh, pts, programs.intersection, chunk_size=self.chunk_size
-        )
+        native = _native_sphere_query(bvh, pts, programs, collect=True)
+        if native is not None:
+            indptr, indices, traversal = native
+        else:
+            indptr, indices, traversal = point_query_csr(
+                bvh, pts, programs.intersection, chunk_size=self.chunk_size
+            )
         stats = LaunchStats(num_rays=pts.shape[0], traversal=traversal)
         stats.intersection_calls = traversal.candidates
         stats.confirmed_hits = traversal.confirmed
@@ -232,6 +295,20 @@ class ScenePipeline:
         """
         bvh = self._require_accel()
         pts = ensure_points3d(np.atleast_2d(np.asarray(points, dtype=np.float64)))
+
+        if (
+            min_count is None
+            and not self.is_triangle_mode
+            and programs.anyhit is None
+        ):
+            native = _native_sphere_query(bvh, pts, programs, collect=False)
+            if native is not None:
+                counts, traversal = native
+                stats = LaunchStats(num_rays=pts.shape[0], traversal=traversal)
+                stats.intersection_calls = traversal.candidates
+                stats.confirmed_hits = traversal.confirmed
+                self._charge_launch(stats)
+                return counts, stats
 
         stats = LaunchStats(num_rays=pts.shape[0])
         anyhit_tally = {"calls": 0}

@@ -41,6 +41,7 @@ consume — is ever materialised.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,7 @@ import numpy as np
 from ..api.protocol import ClustererMixin
 from ..api.registry import register_algorithm
 from ..dbscan.disjoint_set import ParallelDisjointSet
+from ..native import dispatch as native_dispatch
 from ..dbscan.params import NOISE, DBSCANParams, DBSCANResult, canonicalize_labels
 from ..geometry.transforms import ensure_points3d
 from ..perf.cost_model import OpCounts
@@ -125,6 +127,7 @@ class StreamUpdate:
     "streaming-rt-dbscan",
     description="Incremental RT-DBSCAN over a point stream (sliding window, refit-aware).",
     supports_partial_fit=True,
+    supports_native=True,
 )
 class StreamingRTDBSCAN(ClustererMixin):
     """Incremental RT-DBSCAN over a point stream.
@@ -144,6 +147,11 @@ class StreamingRTDBSCAN(ClustererMixin):
         driven ``"auto"``).
     builder, leaf_size, chunk_size, initial_capacity:
         Scene parameters forwarded to :class:`StreamingScene`.
+    native:
+        Kernel-tier override applied to every :meth:`update`: ``True``
+        forces the compiled C kernels, ``False`` forces pure numpy,
+        ``None`` (default) defers to the ``REPRO_NATIVE`` environment knob.
+        Labels and charged operation counts are identical either way.
 
     Examples
     --------
@@ -165,8 +173,10 @@ class StreamingRTDBSCAN(ClustererMixin):
         leaf_size: int = 4,
         chunk_size: int = 16384,
         initial_capacity: int = 256,
+        native: bool | None = None,
     ) -> None:
         self.params = DBSCANParams(eps=eps, min_pts=min_pts)
+        self.native = native
         if window is not None and window < 1:
             raise ValueError("window must be a positive integer or None")
         self.window = window
@@ -286,6 +296,15 @@ class StreamingRTDBSCAN(ClustererMixin):
     # ------------------------------------------------------------------ #
     def update(self, points: np.ndarray) -> StreamUpdate:
         """Ingest one chunk, slide the window, and re-cluster incrementally."""
+        ctx = (
+            native_dispatch.override(self.native)
+            if self.native is not None
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            return self._update(points)
+
+    def _update(self, points: np.ndarray) -> StreamUpdate:
         pts3 = self._validate_chunk(points)
         if self.window is not None and pts3.shape[0] > self.window:
             # A chunk larger than the window: only its newest points survive.
@@ -549,6 +568,13 @@ class StreamingRTDBSCAN(ClustererMixin):
         """
         win = self._window_slots()
         labels, core_mask = self._window_labels(win)
+        ctx = (
+            native_dispatch.override(self.native)
+            if self.native is not None
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            kernel_tier = native_dispatch.active_tier()
         return DBSCANResult(
             labels=labels,
             core_mask=core_mask,
@@ -556,7 +582,11 @@ class StreamingRTDBSCAN(ClustererMixin):
             algorithm="streaming-rt-dbscan",
             report=self._last_report,
             neighbor_counts=self._counts[win].copy(),
-            extra={"scene": self.scene.summary(), "window_arrivals": self._arrival[win].copy()},
+            extra={
+                "scene": self.scene.summary(),
+                "window_arrivals": self._arrival[win].copy(),
+                "kernel_tier": kernel_tier,
+            },
         )
 
     def summary(self) -> dict:

@@ -250,7 +250,22 @@ class StreamingScene:
             hit &= slots[query_idx] != prim_idx
             return hit
 
-        programs = ProgramGroup(intersection=intersection, name="streaming-window")
+        programs = ProgramGroup(
+            intersection=intersection,
+            name="streaming-window",
+            # Native-tier descriptor: parked primitives are rejected via the
+            # active mask and the self hit via the slot map (prim != slots[q]),
+            # mirroring the closure above bit-for-bit.
+            payload={
+                "native_sphere": {
+                    "centers": self.centers,
+                    "confirm_pts": qpts,
+                    "r2": eps2,
+                    "self_map": slots,
+                    "active": self.active,
+                }
+            },
+        )
         return self.pipeline.launch_csr_queries(qpts, programs)
 
     def query_pairs(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray, LaunchStats]:

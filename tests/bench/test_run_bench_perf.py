@@ -29,10 +29,35 @@ class TestPerfProfile:
         assert rc == 0
         return json.loads(out.read_text())
 
-    def test_one_record_per_backend(self, run_bench, snapshot):
+    def test_one_cell_per_backend_and_tier(self, run_bench, snapshot):
         records = snapshot["perf"]["records"]
-        assert [r["backend"] for r in records] == list(run_bench.PERF["backends"])
+        numpy_cells = [r["backend"] for r in records if r["kernel_tier"] == "numpy"]
+        assert numpy_cells == list(run_bench.PERF["backends"])
+        # Native-capable backends add a second cell on the compiled tier when
+        # it is available; nothing else may.
+        native_cells = [r["backend"] for r in records if r["kernel_tier"] == "native"]
+        from repro.native import dispatch
+
+        if dispatch.available():
+            assert native_cells == [b for b in run_bench.PERF["backends"]
+                                    if b in run_bench.NATIVE_BACKENDS]
+        else:
+            assert native_cells == []
         assert all(r["n"] == 800 for r in records)
+
+    def test_native_pairs_prove_parity(self, snapshot):
+        comparisons = snapshot["perf"]["native_vs_numpy"]
+        from repro.native import dispatch
+
+        if not dispatch.available():
+            assert comparisons == []
+            return
+        assert {c["backend"] for c in comparisons} == {"rt", "grid", "brute"}
+        for c in comparisons:
+            assert c["labels_identical"] is True
+            assert c["counts_identical"] is True
+            assert c["simulated_seconds_identical"] is True
+            assert c["wall_speedup"] > 0
 
     def test_records_carry_host_metrics(self, snapshot):
         for rec in snapshot["perf"]["records"]:

@@ -1,0 +1,141 @@
+"""Unit tests for the native-tier dispatcher.
+
+The dispatcher is the single decision point between the numpy and compiled
+kernel tiers: these tests pin its contract — the ``REPRO_NATIVE`` knob, the
+``override`` context manager, the guarantee that ``off`` never invokes a
+build, and the log-once / never-raise behaviour of a failed build.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.api.registry import get_algorithm, get_backend
+from repro.native import build, dispatch
+
+
+@pytest.fixture()
+def fresh_dispatch():
+    """Run a test against pristine dispatcher state, then restore it."""
+    dispatch._reset_for_testing()
+    yield dispatch
+    dispatch._reset_for_testing()
+
+
+class TestModeResolution:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("0", "off"), ("false", "off"), ("OFF", "off"), ("no", "off"),
+            ("1", "on"), ("true", "on"), ("ON", "on"), ("yes", "on"),
+            ("auto", "auto"), ("", "auto"), ("weird", "auto"),
+        ],
+    )
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_NATIVE", value)
+        assert dispatch.mode() == expected
+
+    def test_unset_env_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        assert dispatch.mode() == "auto"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert dispatch.mode() == "off"
+        with dispatch.override(True):
+            assert dispatch.mode() == "on"
+            with dispatch.override(False):
+                assert dispatch.mode() == "off"
+            assert dispatch.mode() == "on"
+        assert dispatch.mode() == "off"
+
+
+class TestOffNeverBuilds:
+    def test_no_build_attempt_when_off(self, monkeypatch, fresh_dispatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+
+        def boom():  # pragma: no cover - must never run
+            raise AssertionError("build attempted despite REPRO_NATIVE=0")
+
+        monkeypatch.setattr(build, "load_kernels", boom)
+        assert fresh_dispatch.kernels() is None
+        assert fresh_dispatch.available() is False
+        assert fresh_dispatch.active_tier() == "numpy"
+        assert fresh_dispatch._state["attempted"] is False
+
+    def test_override_false_never_builds(self, monkeypatch, fresh_dispatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+
+        def boom():  # pragma: no cover - must never run
+            raise AssertionError("build attempted despite override(False)")
+
+        monkeypatch.setattr(build, "load_kernels", boom)
+        with fresh_dispatch.override(False):
+            assert fresh_dispatch.kernels() is None
+            assert fresh_dispatch._state["attempted"] is False
+
+
+class TestFailedBuildFallsBack:
+    def test_failure_is_recorded_and_logged_once(
+        self, monkeypatch, caplog, fresh_dispatch
+    ):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+
+        def broken():
+            raise RuntimeError("cc: command not found")
+
+        monkeypatch.setattr(build, "load_kernels", broken)
+        with caplog.at_level(logging.WARNING, logger="repro.native"):
+            assert fresh_dispatch.kernels() is None
+            assert fresh_dispatch.kernels() is None  # second call: cached, silent
+        warnings = [r for r in caplog.records if "unavailable" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "cc: command not found" in warnings[0].getMessage()
+
+        status = fresh_dispatch.status()
+        assert status["built"] is False
+        assert status["attempted"] is True
+        assert "cc: command not found" in status["fallback_reason"]
+
+    def test_status_reports_off_reason(self, monkeypatch, fresh_dispatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        status = fresh_dispatch.status()
+        assert status["mode"] == "off"
+        assert status["active"] is False
+        assert "REPRO_NATIVE=0" in status["fallback_reason"]
+
+
+class TestRegistryMetadata:
+    def test_native_capable_backends_are_tagged(self):
+        for name in ("rt", "grid", "brute"):
+            assert get_backend(name).native, name
+        for name in ("kdtree", "lsh", "sampled"):
+            assert not get_backend(name).native, name
+
+    def test_native_capable_algorithms_are_tagged(self):
+        for name in ("rt-dbscan", "rt-dbscan-tiled", "streaming-rt-dbscan"):
+            assert get_algorithm(name).supports_native, name
+        assert not get_algorithm("classic").supports_native
+
+    def test_spec_rejects_native_on_unsupporting_algorithm(self):
+        from repro.api.spec import ClustererSpec
+
+        with pytest.raises(ValueError, match="native"):
+            ClustererSpec(algo="classic", eps=0.3, min_pts=5, native=True).resolve()
+
+    def test_spec_routes_native_into_as_dict(self):
+        from repro.api.spec import ClustererSpec
+
+        spec = ClustererSpec(algo="rt-dbscan", eps=0.3, min_pts=5, native=False)
+        assert spec.as_dict()["native"] is False
+        assert ClustererSpec(algo="rt-dbscan", eps=0.3, min_pts=5).as_dict()["native"] is None
+
+
+class TestModuleNaming:
+    def test_module_name_is_content_addressed(self):
+        name = build.module_name()
+        assert name.startswith("_repro_kernels_")
+        # Stable across calls: the name is a hash of the cdef + C source.
+        assert build.module_name() == name

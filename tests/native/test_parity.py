@@ -1,0 +1,159 @@
+"""Native-vs-numpy parity matrix.
+
+The native tier's whole contract is *byte identity*: same CSR adjacency,
+same labels, same charged operation counts — only wall-clock changes.  This
+module pins that contract across backends (grid / brute / rt), datasets
+(Gaussian blobs and the paper's NGSIM trajectory distribution) and pipelines
+(monolithic, tiled, streaming), plus the raw CSR surface of every native
+backend.
+
+Everything here skips when the compiled tier is unavailable (e.g. the CI
+no-compiler job): without a native tier there is nothing to compare, and the
+pure-numpy suite already covers the fallback behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import make_backend
+from repro.bench.experiments import calibrate_eps
+from repro.data.registry import generate
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.native import dispatch
+from repro.partition.tiled import TiledRTDBSCAN
+from repro.streaming.engine import StreamingRTDBSCAN
+
+NATIVE_BACKENDS = ("grid", "brute", "rt")
+MIN_PTS = 8
+
+pytestmark = pytest.mark.skipif(
+    not dispatch.available(), reason="native kernel tier unavailable"
+)
+
+
+@pytest.fixture(scope="module", params=("blobs", "ngsim"))
+def dataset(request):
+    pts = generate(request.param, 900, seed=31)
+    eps = calibrate_eps(pts, MIN_PTS, 0.30)
+    return request.param, pts, eps
+
+
+def assert_counts_equal(report_a, report_b):
+    """Charged op counts must match phase-for-phase, field-for-field."""
+    assert len(report_a.phases) == len(report_b.phases)
+    for pa, pb in zip(report_a.phases, report_b.phases):
+        assert pa.name == pb.name
+        assert pa.counts.as_dict() == pb.counts.as_dict(), pa.name
+
+
+def assert_results_identical(a, b):
+    assert a.labels.dtype == b.labels.dtype
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.core_mask, b.core_mask)
+    assert_counts_equal(a.report, b.report)
+    # Identical counts through an identical cost model ⇒ identical simulated
+    # time; assert it anyway so a cost-model bypass cannot slip through.
+    assert a.report.total_simulated_seconds == b.report.total_simulated_seconds
+
+
+class TestMonolithicParity:
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    def test_labels_and_counts_identical(self, dataset, backend):
+        _, pts, eps = dataset
+        numpy_r = RTDBSCAN(eps=eps, min_pts=MIN_PTS, backend=backend, native=False).fit(pts)
+        native_r = RTDBSCAN(eps=eps, min_pts=MIN_PTS, backend=backend, native=True).fit(pts)
+        assert numpy_r.extra["kernel_tier"] == "numpy"
+        assert native_r.extra["kernel_tier"] == "native"
+        assert_results_identical(numpy_r, native_r)
+
+
+class TestTiledParity:
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    def test_labels_and_counts_identical(self, dataset, backend):
+        _, pts, eps = dataset
+        fits = {}
+        for native in (False, True):
+            fits[native] = TiledRTDBSCAN(
+                eps=eps, min_pts=MIN_PTS, backend=backend, tiles=4, native=native
+            ).fit(pts)
+        assert fits[True].extra["kernel_tier"] == "native"
+        assert_results_identical(fits[False], fits[True])
+
+    def test_process_executor_carries_override(self, dataset):
+        """TileJob.native must reach process-pool workers (fresh interpreters)."""
+        _, pts, eps = dataset
+        fits = {}
+        for native in (False, True):
+            fits[native] = TiledRTDBSCAN(
+                eps=eps, min_pts=MIN_PTS, backend="grid", tiles=4,
+                workers=2, executor_mode="process", native=native,
+            ).fit(pts)
+        assert_results_identical(fits[False], fits[True])
+
+
+class TestStreamingParity:
+    def test_chunked_ingest_identical(self, dataset):
+        _, pts, eps = dataset
+        results = {}
+        for native in (False, True):
+            engine = StreamingRTDBSCAN(
+                eps=eps, min_pts=MIN_PTS, window=600, native=native
+            )
+            updates = [
+                engine.update(pts[lo : lo + 300]) for lo in range(0, pts.shape[0], 300)
+            ]
+            results[native] = (updates, engine.result())
+        for ua, ub in zip(results[False][0], results[True][0]):
+            assert np.array_equal(ua.labels, ub.labels)
+            assert np.array_equal(ua.core_mask, ub.core_mask)
+            assert_counts_equal(ua.report, ub.report)
+        ra, rb = results[False][1], results[True][1]
+        assert np.array_equal(ra.labels, rb.labels)
+        assert ra.extra["kernel_tier"] == "numpy"
+        assert rb.extra["kernel_tier"] == "native"
+
+
+class TestBackendCsrParity:
+    """The raw neighbour surface: byte-identical canonical CSR per backend."""
+
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    def test_self_query_csr(self, dataset, backend):
+        _, pts, eps = dataset
+        per_tier = {}
+        for native in (False, True):
+            with dispatch.override(native):
+                finder = make_backend(backend, pts, eps)
+                try:
+                    counts, cstats = finder.neighbor_counts()
+                    indptr, indices, qstats = finder.neighbor_csr()
+                finally:
+                    finder.release()
+            per_tier[native] = (counts, cstats, indptr, indices, qstats)
+        c0, cs0, ip0, ix0, qs0 = per_tier[False]
+        c1, cs1, ip1, ix1, qs1 = per_tier[True]
+        assert np.array_equal(c0, c1)
+        assert ip0.dtype == ip1.dtype and ip0.tobytes() == ip1.tobytes()
+        assert ix0.dtype == ix1.dtype and ix0.tobytes() == ix1.tobytes()
+        assert cs0.counts.as_dict() == cs1.counts.as_dict()
+        assert qs0.counts.as_dict() == qs1.counts.as_dict()
+
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    def test_external_query_csr(self, dataset, backend):
+        _, pts, eps = dataset
+        queries = pts[::3] + eps / 7.0  # off-lattice external query points
+        per_tier = {}
+        for native in (False, True):
+            with dispatch.override(native):
+                finder = make_backend(backend, pts, eps)
+                try:
+                    indptr, indices, stats = finder.neighbor_csr(queries)
+                finally:
+                    finder.release()
+            per_tier[native] = (indptr, indices, stats)
+        ip0, ix0, st0 = per_tier[False]
+        ip1, ix1, st1 = per_tier[True]
+        assert ip0.tobytes() == ip1.tobytes()
+        assert ix0.tobytes() == ix1.tobytes()
+        assert st0.counts.as_dict() == st1.counts.as_dict()

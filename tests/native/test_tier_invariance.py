@@ -1,0 +1,67 @@
+"""Hypothesis property: the kernel tier is invisible in the output.
+
+For any dataset the strategies can produce, any native-capable backend, and
+any eps drawn from the realised distance distribution, running with the
+compiled tier forced on must give byte-identical labels, core mask, and
+charged op counts to the pure-numpy path.  Unlike the fixed-dataset parity
+matrix, this sweeps the awkward corners — tiny n, eps below any pairwise
+distance (all noise), eps above all of them (one cluster), duplicate points —
+where an off-by-one in a C loop would first show up.
+
+Strategies draw small integers and build datasets deterministically from
+them (the repo-wide idiom) so examples shrink well and replay exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import make_blobs
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.native import dispatch
+
+from test_parity import assert_results_identical
+
+pytestmark = pytest.mark.skipif(
+    not dispatch.available(), reason="native kernel tier unavailable"
+)
+
+backends = st.sampled_from(("grid", "brute", "rt"))
+seeds = st.integers(min_value=0, max_value=2**16)
+sizes = st.integers(min_value=2, max_value=160)
+# eps as a quantile of realised pairwise distances: 0 undershoots every
+# distance (all noise), 100 overshoots them all (single cluster).
+eps_quantiles = st.integers(min_value=0, max_value=100)
+min_pts_values = st.integers(min_value=1, max_value=10)
+
+
+def _dataset(seed: int, n: int) -> np.ndarray:
+    pts, _ = make_blobs(n, centers=3, std=0.3, seed=seed)
+    pts = np.asarray(pts, dtype=np.float64)
+    if seed % 4 == 0 and n >= 4:  # exercise exact duplicates
+        pts[n // 2] = pts[0]
+    return pts
+
+
+def _eps_at_quantile(pts: np.ndarray, q: int) -> float:
+    diffs = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    d = d[np.triu_indices(pts.shape[0], k=1)]
+    if d.size == 0:
+        return 1.0
+    lo, hi = float(d.min()), float(d.max())
+    return max(1e-9, lo * 0.5 + (hi * 1.25 - lo * 0.5) * (q / 100.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(backend=backends, seed=seeds, n=sizes, q=eps_quantiles, min_pts=min_pts_values)
+def test_native_tier_is_invisible(backend, seed, n, q, min_pts):
+    pts = _dataset(seed, n)
+    eps = _eps_at_quantile(pts, q)
+    numpy_r = RTDBSCAN(eps=eps, min_pts=min_pts, backend=backend, native=False).fit(pts)
+    native_r = RTDBSCAN(eps=eps, min_pts=min_pts, backend=backend, native=True).fit(pts)
+    assert native_r.extra["kernel_tier"] == "native"
+    assert_results_identical(numpy_r, native_r)

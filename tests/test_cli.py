@@ -196,7 +196,7 @@ class TestListCommand:
                         "neighbour backends", "experiments:", "streaming experiments:"):
             assert heading in out
         assert "rt-dbscan-tiled" in out
-        assert "[backends, tiles]" in out
+        assert "[backends, tiles, native]" in out
         assert "scaling" in out
 
     def test_approximate_backends_are_tagged(self, capsys):
@@ -204,6 +204,44 @@ class TestListCommand:
         out = capsys.readouterr().out
         assert "lsh" in out and "sampled" in out
         assert "[approximate]" in out
+
+    def test_native_capable_entries_are_tagged(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "[backends, native]" in out   # rt-dbscan
+        assert "[native]" in out             # rt / grid / brute backends
+
+
+class TestNativeCommand:
+    def test_reports_status(self, capsys):
+        rc = main(["native"])
+        out = capsys.readouterr().out
+        assert "native kernel tier" in out
+        assert "REPRO_NATIVE" in out
+        assert rc in (0, 1)  # 0 when active (or off); 1 when wanted but unbuildable
+
+    def test_json_status(self, capsys):
+        main(["native", "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert {"mode", "active", "built", "attempted"} <= status.keys()
+
+    def test_off_mode_is_a_clean_zero(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert main(["native", "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["mode"] == "off"
+        assert status["active"] is False
+
+    def test_cluster_native_flag_roundtrips_tier(self, capsys):
+        from repro.native import dispatch
+
+        assert main(CLUSTER_SMALL + ["--json", "--native", "off"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kernel_tier"] == "numpy"
+        if dispatch.available():
+            assert main(CLUSTER_SMALL + ["--json", "--native", "on"]) == 0
+            record = json.loads(capsys.readouterr().out)
+            assert record["kernel_tier"] == "native"
 
 
 class TestParser:
