@@ -88,8 +88,12 @@ PERF = {
 }
 
 #: backends measured on both kernel tiers (must match the registry's
-#: ``native=True`` entries; kdtree has no compiled path).
-NATIVE_BACKENDS = ("rt", "grid", "brute")
+#: ``native=True`` exact entries; since the parallel-tier PR that is every
+#: perf backend — kdtree shares the compiled BVH DFS kernel.  The approximate
+#: tier (lsh/sampled) is also native-capable, but its end-to-end wall is
+#: dominated by tier-independent candidate generation, so its compiled
+#: confirm pass is gated by the dedicated microbench below instead).
+NATIVE_BACKENDS = ("rt", "grid", "kdtree", "brute")
 
 
 def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
@@ -137,7 +141,7 @@ def perf_child(config_json: str) -> int:
     points = generate(cfg["dataset"], cfg["n"], seed=cfg["seed"])
     clusterer = RTDBSCAN(
         eps=cfg["eps"], min_pts=cfg["min_pts"], backend=cfg["backend"],
-        native=cfg.get("native"),
+        native=cfg.get("native"), native_threads=cfg.get("native_threads"),
     )
 
     tracemalloc.start()
@@ -154,6 +158,24 @@ def perf_child(config_json: str) -> int:
             for key, value in phase.counts.as_dict().items():
                 counts[key] = counts.get(key, 0) + int(value)
 
+    # Report the thread count the dispatcher actually resolved for this cell,
+    # so a snapshot read on another machine is self-describing.
+    import contextlib
+
+    from repro.native import dispatch as native_dispatch
+
+    nk = native_dispatch.kernels() if cfg.get("native") else None
+    if nk is None:
+        resolved_threads = 1
+    else:
+        tctx = (
+            native_dispatch.thread_override(cfg["native_threads"])
+            if cfg.get("native_threads") is not None
+            else contextlib.nullcontext()
+        )
+        with tctx:
+            resolved_threads = nk.resolve_threads()
+
     record = {
         "backend": cfg["backend"],
         "dataset": cfg["dataset"],
@@ -161,6 +183,8 @@ def perf_child(config_json: str) -> int:
         "eps": cfg["eps"],
         "min_pts": cfg["min_pts"],
         "kernel_tier": result.extra.get("kernel_tier", "numpy"),
+        "native_threads": cfg.get("native_threads"),
+        "resolved_threads": resolved_threads,
         "wall_seconds": wall,
         "ru_maxrss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
         "tracemalloc_peak_bytes": int(traced_peak),
@@ -178,8 +202,28 @@ def perf_child(config_json: str) -> int:
     return 0
 
 
+def _run_perf_cell(cfg: dict) -> dict:
+    """Run one perf measurement in a fresh subprocess and parse its record."""
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--perf-child", json.dumps(cfg)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"perf child failed for {cfg['backend']}@{cfg['n']}")
+    record = json.loads(proc.stdout.strip().splitlines()[-1])
+    print(f"[bench]   {record['wall_seconds']:.1f}s wall, "
+          f"{record['ru_maxrss_bytes'] / 2**20:.0f} MiB RSS, "
+          f"{record['tracemalloc_peak_bytes'] / 2**20:.0f} MiB traced peak",
+          flush=True)
+    return record
+
+
 def run_perf(args: argparse.Namespace, payload: dict) -> None:
     """Drive the perf ladder, one subprocess per (size, backend) cell."""
+    import os
+
     from repro.data.registry import generate
 
     scale = args.scale if args.scale is not None else 1.0
@@ -201,6 +245,15 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
         print(f"[bench] native tier unavailable "
               f"({native_dispatch.status()['fallback_reason']}); "
               f"running numpy cells only", flush=True)
+    cpu_count = os.cpu_count() or 1
+    payload["meta"]["cpu_count"] = cpu_count
+    if pair_native:
+        status = native_dispatch.status()
+        payload["meta"]["native"] = {
+            "variant": status["variant"],
+            "openmp": status["openmp"],
+            "max_threads": status["max_threads"],
+        }
 
     records = []
     for n in sizes:
@@ -219,20 +272,7 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
                 tier = "native" if native else "numpy"
                 print(f"[bench] perf {backend}@{n} [{tier}] (eps={eps:.5g}) ...",
                       flush=True)
-                proc = subprocess.run(
-                    [sys.executable, str(Path(__file__).resolve()),
-                     "--perf-child", json.dumps(cfg)],
-                    capture_output=True, text=True,
-                )
-                if proc.returncode != 0:
-                    print(proc.stderr, file=sys.stderr)
-                    raise RuntimeError(f"perf child failed for {backend}@{n}")
-                record = json.loads(proc.stdout.strip().splitlines()[-1])
-                records.append(record)
-                print(f"[bench]   {record['wall_seconds']:.1f}s wall, "
-                      f"{record['ru_maxrss_bytes'] / 2**20:.0f} MiB RSS, "
-                      f"{record['tracemalloc_peak_bytes'] / 2**20:.0f} MiB traced peak",
-                      flush=True)
+                records.append(_run_perf_cell(cfg))
     payload["perf"] = {"records": records}
 
     # Paired numpy-vs-native cells: the native tier must prove byte-identical
@@ -268,6 +308,132 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
               f"{c['wall_speedup']:.2f}x wall speedup, "
               f"labels_identical={c['labels_identical']}, "
               f"counts_identical={c['counts_identical']}", flush=True)
+
+    # Thread-scaling curves: the largest ladder size on every native backend,
+    # swept over an explicit thread axis.  Every cell must reproduce the
+    # 1-thread bytes exactly (per-thread CSR fragments merge in query order);
+    # the speedup-vs-1-thread column is what the budget file gates on
+    # multi-core hosts.  On a serial build or a 1-core box the axis collapses
+    # to [1], which still records an honest (1.0x) curve.
+    if pair_native:
+        nk = native_dispatch.kernels()
+        max_threads = nk.openmp_max_threads() if nk.has_openmp else 1
+        thread_axis = sorted({t for t in (1, 2, 4, max_threads) if 1 <= t <= max_threads})
+        n_top = sizes[-1]
+        points = generate(PERF["dataset"], n_top, seed=PERF["seed"])
+        eps = calibrate_eps(points, PERF["min_pts"], PERF["eps_quantile"])
+        scaling_records = []
+        for backend in NATIVE_BACKENDS:
+            cells = []
+            for nthreads in thread_axis:
+                print(f"[bench] perf {backend}@{n_top} [native, {nthreads}t] ...",
+                      flush=True)
+                cells.append(_run_perf_cell({
+                    "dataset": PERF["dataset"], "n": n_top, "seed": PERF["seed"],
+                    "eps": eps, "min_pts": PERF["min_pts"], "backend": backend,
+                    "native": True, "native_threads": nthreads,
+                }))
+            base = cells[0]
+            for nthreads, rec in zip(thread_axis, cells):
+                scaling_records.append({
+                    "backend": backend,
+                    "n": n_top,
+                    "threads": nthreads,
+                    "resolved_threads": rec["resolved_threads"],
+                    "wall_seconds": rec["wall_seconds"],
+                    "speedup_vs_1_thread": (
+                        base["wall_seconds"] / max(rec["wall_seconds"], 1e-9)
+                    ),
+                    "labels_identical": rec["labels_sha256"] == base["labels_sha256"],
+                    "counts_identical": rec["counts"] == base["counts"],
+                    "simulated_seconds_identical": (
+                        rec["simulated_seconds"] == base["simulated_seconds"]
+                    ),
+                })
+        payload["perf"]["thread_scaling"] = {
+            "threads_axis": thread_axis,
+            "max_threads": max_threads,
+            "cpu_count": cpu_count,
+            "records": scaling_records,
+        }
+        for r in scaling_records:
+            print(f"[bench] threads {r['backend']}@{r['n']} x{r['threads']}: "
+                  f"{r['speedup_vs_1_thread']:.2f}x vs 1 thread, "
+                  f"labels_identical={r['labels_identical']}", flush=True)
+
+        # The approximate tier's exact-distance confirm pass, isolated: the
+        # lsh backend's end-to-end wall is dominated by tier-independent
+        # candidate generation (hashing + pair dedupe grow superlinearly), so
+        # pairing full lsh fits would measure the wrong thing.  This times
+        # the confirm step alone — the numpy einsum path vs the compiled
+        # pair kernel — on a deduped pair stream shaped like lsh's.
+        import numpy as np
+
+        rng = np.random.default_rng(PERF["seed"])
+        r2 = eps * eps
+        nq_mb = min(2048, n_top)
+        per_q = min(64, n_top)
+        points = np.ascontiguousarray(points)
+        block = np.ascontiguousarray(points[:nq_mb])
+        rep = np.repeat(np.arange(nq_mb, dtype=np.intp), per_q)
+        raw = rng.integers(0, n_top, size=nq_mb * per_q)
+        pair_key = np.unique(rep.astype(np.int64) * n_top + raw)
+        rep_q = (pair_key // n_top).astype(np.intp)
+        cand = (pair_key % n_top).astype(np.intp)
+        cands_i64 = np.ascontiguousarray(cand, dtype=np.int64)
+        pair_indptr = np.ascontiguousarray(
+            np.searchsorted(rep_q, np.arange(nq_mb + 1)), dtype=np.int64
+        )
+
+        def numpy_confirm():
+            d = block[rep_q] - points[cand]
+            hit = np.einsum("ij,ij->i", d, d) <= r2
+            hit &= rep_q != cand
+            rc = np.bincount(rep_q[hit], minlength=nq_mb).astype(np.int64)
+            return rc, cand[hit]
+
+        def native_confirm():
+            rc = np.zeros(nq_mb, dtype=np.int64)
+            if not nk.confirm_pairs(block, 0, points, cands_i64, pair_indptr,
+                                    r2, True, row_counts=rc):
+                raise RuntimeError("confirm_pairs rejected the microbench arrays")
+            indptr = np.zeros(nq_mb + 1, dtype=np.int64)
+            np.cumsum(rc, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.intp)
+            nk.confirm_pairs(block, 0, points, cands_i64, pair_indptr, r2,
+                             True, indptr=indptr, indices=indices)
+            return rc, indices
+
+        rc_np, ix_np = numpy_confirm()
+        rc_nat, ix_nat = native_confirm()
+        identical = bool(
+            np.array_equal(rc_np, rc_nat)
+            and np.array_equal(ix_np.astype(np.int64), ix_nat.astype(np.int64))
+        )
+
+        def best_of(fn, reps=9):
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        numpy_wall = best_of(numpy_confirm)
+        native_wall = best_of(native_confirm)
+        payload["perf"]["confirm_kernel"] = {
+            "n_points": n_top,
+            "queries": nq_mb,
+            "pairs": int(rep_q.size),
+            "hits": int(rc_np.sum()),
+            "numpy_wall_seconds": numpy_wall,
+            "native_wall_seconds": native_wall,
+            "wall_speedup": numpy_wall / max(native_wall, 1e-12),
+            "identical": identical,
+        }
+        print(f"[bench] confirm kernel: {rep_q.size} pairs, "
+              f"{payload['perf']['confirm_kernel']['wall_speedup']:.2f}x wall "
+              f"speedup, identical={identical}", flush=True)
 
     # Speedup-vs-agreement sweep of the approximate tier: every knob setting
     # of the lsh/sampled backends against the exact brute baseline, so the
@@ -354,13 +520,18 @@ def check_native_budget(args: argparse.Namespace, payload: dict) -> int:
     """Gate the perf profile's paired native cells against the budget file.
 
     Parity (identical labels, counts and simulated seconds) is a hard
-    requirement on *every* paired cell regardless of size.  The speedup floor
+    requirement on *every* paired cell regardless of size, and on every
+    thread-scaling cell regardless of thread count.  The speedup floor
     (``native_min_speedup``, per backend) only applies to cells with at least
     ``native_gate_min_n`` points, so a scaled-down CI run is not falsely
-    gated on warm-up-dominated small cells.  Exit code 3 mirrors the smoke
-    budget check.
+    gated on warm-up-dominated small cells.  The multi-thread floor
+    (``native_thread_scaling_min``, per backend) additionally requires the
+    host to have at least ``threads_gate_min_cores`` cores.  Exit code 3
+    mirrors the smoke budget check.
     """
     comparisons = payload.get("perf", {}).get("native_vs_numpy", [])
+    scaling = payload.get("perf", {}).get("thread_scaling", {})
+    scaling_records = scaling.get("records", [])
     failures = []
     if args.require_native and not comparisons:
         failures.append("--require-native set but no paired native cells ran "
@@ -372,6 +543,22 @@ def check_native_budget(args: argparse.Namespace, payload: dict) -> int:
                 f"{c['backend']}@{c['n']}: native tier broke parity "
                 f"(labels={c['labels_identical']}, counts={c['counts_identical']}, "
                 f"simulated={c['simulated_seconds_identical']})"
+            )
+    confirm = payload.get("perf", {}).get("confirm_kernel")
+    if confirm and not confirm["identical"]:
+        failures.append(
+            "confirm kernel: native output differs from the numpy confirm"
+        )
+    # Thread-count parity is unconditional: a multi-thread cell that differs
+    # from the 1-thread bytes is a determinism bug, never a tuning matter.
+    for r in scaling_records:
+        if not (r["labels_identical"] and r["counts_identical"]
+                and r["simulated_seconds_identical"]):
+            failures.append(
+                f"{r['backend']}@{r['n']} x{r['threads']}t: thread count broke "
+                f"parity (labels={r['labels_identical']}, "
+                f"counts={r['counts_identical']}, "
+                f"simulated={r['simulated_seconds_identical']})"
             )
     if args.budget_file:
         budget = json.loads(Path(args.budget_file).read_text())
@@ -386,6 +573,38 @@ def check_native_budget(args: argparse.Namespace, payload: dict) -> int:
                     f"{c['backend']}@{c['n']}: native speedup "
                     f"{c['wall_speedup']:.2f}x below the {float(floor):g}x floor"
                 )
+        confirm_floor = floors.get("confirm_pairs")
+        if confirm and confirm_floor is not None:
+            if confirm["wall_speedup"] < float(confirm_floor):
+                failures.append(
+                    f"confirm kernel: {confirm['wall_speedup']:.2f}x below "
+                    f"the {float(confirm_floor):g}x floor"
+                )
+        # The multi-thread floor only binds on hosts with enough cores to
+        # make it attainable (threads_gate_min_cores); a 1-core container
+        # records an honest 1.0x curve without failing the gate.
+        thread_floors = budget.get("native_thread_scaling_min", {})
+        gate_min_cores = int(budget.get("threads_gate_min_cores", 4))
+        cpu_count = int(scaling.get("cpu_count", 1))
+        if cpu_count >= gate_min_cores:
+            best = {}
+            for r in scaling_records:
+                if r["threads"] >= 2 and r["n"] >= gate_min_n:
+                    key = (r["backend"], r["n"])
+                    best[key] = max(best.get(key, 0.0), r["speedup_vs_1_thread"])
+            for backend, floor in thread_floors.items():
+                cells = {k: v for k, v in best.items() if k[0] == backend}
+                if not cells and scaling_records:
+                    failures.append(
+                        f"{backend}: no multi-thread scaling cell at "
+                        f">={gate_min_n} points despite {cpu_count} cores"
+                    )
+                for (b, n), speedup in cells.items():
+                    if speedup < float(floor):
+                        failures.append(
+                            f"{b}@{n}: thread scaling {speedup:.2f}x below "
+                            f"the {float(floor):g}x multi-thread floor"
+                        )
     if failures:
         for line in failures:
             print(f"[bench] NATIVE BUDGET FAILED: {line}", file=sys.stderr)
@@ -393,6 +612,9 @@ def check_native_budget(args: argparse.Namespace, payload: dict) -> int:
     if comparisons:
         print(f"[bench] native tier: {len(comparisons)} paired cells, "
               "parity held on all of them")
+    if scaling_records:
+        print(f"[bench] thread scaling: {len(scaling_records)} cells, "
+              "thread-count parity held on all of them")
     return 0
 
 

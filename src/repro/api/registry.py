@@ -307,6 +307,8 @@ def make_clusterer(spec, *, device=None):
         params["workers"] = spec.workers
     if spec.native is not None:
         params["native"] = spec.native
+    if spec.native_threads is not None:
+        params["native_threads"] = spec.native_threads
     return entry.factory(eps=spec.eps, min_pts=spec.min_pts, device=device, **params)
 
 

@@ -47,6 +47,13 @@ class ClustererSpec:
         ``False`` forces pure numpy, ``None`` (default) defers to the
         ``REPRO_NATIVE`` environment knob.  Results are byte-identical
         either way; only wall-clock time changes.
+    native_threads:
+        Optional OpenMP worker-count override for the native tier (again
+        only for ``supports_native=True`` algorithms): a positive integer
+        pins the fan-out, ``None`` (default) defers to the
+        ``REPRO_NATIVE_THREADS`` environment knob (itself defaulting to
+        one worker per core).  Ignored when the native tier is off or the
+        build lacks OpenMP.  Results are byte-identical at any count.
     params:
         Extra keyword arguments forwarded to the algorithm factory
         (e.g. ``builder="sah"`` or ``window=2000``).
@@ -59,6 +66,7 @@ class ClustererSpec:
     tiles: int | None = None
     workers: int | None = None
     native: bool | None = None
+    native_threads: int | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -66,7 +74,7 @@ class ClustererSpec:
             raise ValueError(f"eps must be a positive finite number, got {self.eps}")
         if int(self.min_pts) != self.min_pts or self.min_pts < 1:
             raise ValueError(f"min_pts must be a positive integer, got {self.min_pts}")
-        for name in ("tiles", "workers"):
+        for name in ("tiles", "workers", "native_threads"):
             value = getattr(self, name)
             if value is None:
                 continue
@@ -125,6 +133,11 @@ class ClustererSpec:
                 f"algorithm {entry.name!r} does not accept a native= kernel-tier "
                 "override"
             )
+        if self.native_threads is not None and not entry.supports_native:
+            raise ValueError(
+                f"algorithm {entry.name!r} does not accept a native_threads= "
+                "override"
+            )
         return entry, backend
 
     def as_dict(self) -> dict:
@@ -136,5 +149,6 @@ class ClustererSpec:
             "tiles": self.tiles,
             "workers": self.workers,
             "native": self.native,
+            "native_threads": self.native_threads,
             "params": dict(self.params),
         }

@@ -6,6 +6,7 @@ analogue), a binned SAH builder (for quality ablations), batched point/ray
 traversal kernels with operation counters, and refit/quality helpers.
 """
 
+from .kdtree import build_kdtree
 from .lbvh import build_lbvh
 from .node import INVALID_NODE, BVH
 from .refit import leaf_occupancy, refit, sah_cost
@@ -21,6 +22,7 @@ from .traversal import (
 __all__ = [
     "BVH",
     "INVALID_NODE",
+    "build_kdtree",
     "build_lbvh",
     "build_sah",
     "refit",

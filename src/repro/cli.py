@@ -183,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "C hot loops (on), pure numpy (off), or the "
                                 "REPRO_NATIVE environment default (auto); labels are "
                                 "identical either way")
+    p_cluster.add_argument("--native-threads", type=int, default=None,
+                           help="OpenMP worker count for the native kernels "
+                                "(default: the REPRO_NATIVE_THREADS environment "
+                                "knob, itself defaulting to one worker per core); "
+                                "labels are identical at any count")
     p_cluster.add_argument("--recall-target", type=float, default=None,
                            help="lsh backend: per-edge recall target in (0, 1]; "
                                 "1.0 falls back to the exact exhaustive sweep")
@@ -326,7 +331,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         spec = ClustererSpec(
             algo=algorithm, eps=args.eps, min_pts=args.min_pts,
             backend=args.backend, tiles=args.tiles, workers=args.workers,
-            native=native, params=params,
+            native=native, native_threads=args.native_threads, params=params,
         )
         _, resolved_backend = spec.resolve()
     except (KeyError, ValueError) as exc:
@@ -348,6 +353,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         extra_kwargs["workers"] = args.workers
     if native is not None:
         extra_kwargs["native"] = native
+    if args.native_threads is not None:
+        extra_kwargs["native_threads"] = args.native_threads
     if backend_kwargs:
         extra_kwargs["backend_kwargs"] = backend_kwargs
     record = run_single(
@@ -530,8 +537,24 @@ def _cmd_native(args: argparse.Namespace) -> int:
     print(f"  built:           {status['built']}")
     print(f"  module:          {status['module'] or 'n/a'}")
     print(f"  cache dir:       {status['cache_dir']}")
+    openmp = status["openmp"]
+    openmp_str = "unknown (not built)" if openmp is None else str(openmp)
+    if not status["openmp_requested"]:
+        openmp_str += "  (disabled via REPRO_NATIVE_NO_OPENMP)"
+    print(f"  openmp:          {openmp_str}")
+    requested = status["requested_threads"]
+    print(
+        f"  threads:         {status['resolved_threads']} resolved  "
+        f"(requested {'auto' if requested is None else requested}, "
+        f"REPRO_NATIVE_THREADS={status['threads_env'] or 'unset'}, "
+        f"omp max {status['max_threads'] if status['max_threads'] is not None else 'n/a'})"
+    )
     if status["fallback_reason"]:
         print(f"  fallback reason: {status['fallback_reason']}")
+    print("  kernels:")
+    for name, info in status["kernels"].items():
+        par = "parallel" if info["parallel"] else "serial"
+        print(f"    {name:<16} {info['tier']}/{par:<9} {info['serves']}")
     return 0 if status["active"] or status["mode"] == "off" else 1
 
 

@@ -98,6 +98,11 @@ class RTDBSCAN(ClustererMixin):
         the ``REPRO_NATIVE`` environment knob.  Labels and charged operation
         counts are identical either way; the tier actually used is recorded
         as ``result.extra["kernel_tier"]``.
+    native_threads:
+        OpenMP worker-count override for this fit's native kernels: a
+        positive integer pins the fan-out, ``None`` (default) defers to the
+        ``REPRO_NATIVE_THREADS`` environment knob.  Byte-identical results
+        at any count; ignored on the numpy tier or a serial build.
     """
 
     eps: float
@@ -112,6 +117,7 @@ class RTDBSCAN(ClustererMixin):
     keep_neighbor_counts: bool = True
     backend_kwargs: dict | None = None
     native: bool | None = None
+    native_threads: int | None = None
 
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
@@ -145,7 +151,12 @@ class RTDBSCAN(ClustererMixin):
             if self.native is not None
             else contextlib.nullcontext()
         )
-        with ctx:
+        tctx = (
+            native_dispatch.thread_override(self.native_threads)
+            if self.native_threads is not None
+            else contextlib.nullcontext()
+        )
+        with ctx, tctx:
             return self._fit(points)
 
     def _fit(self, points: np.ndarray) -> DBSCANResult:

@@ -2,8 +2,8 @@
  *
  * Every kernel here replicates a pure-numpy loop *bit for bit*: the CSR
  * adjacencies, labels and charged operation counts must be byte-identical to
- * the numpy tier, which is what the parity test matrix asserts.  Two details
- * matter everywhere:
+ * the numpy tier, which is what the parity test matrix asserts.  Three
+ * details matter everywhere:
  *
  *   - numpy's ``einsum("ij,ij->i", d, d)`` accumulates a 3-wide row with a
  *     2-way pairwise unroll: (x*x + z*z) + y*y.  All squared distances below
@@ -12,15 +12,38 @@
  *   - CSR rows are emitted in query order with ascending indices (the
  *     canonical form of repro.adjacency), so per-row output is sorted before
  *     returning whenever the discovery order is not already ascending.
+ *   - queries are independent: each writes only its own ``row_counts[i]``
+ *     entry and its own ``indptr``-delimited slice of ``indices``, and the
+ *     shared totals are exact integer reductions.  The OpenMP fan-out over
+ *     queries below is therefore byte-identical to the serial sweep at any
+ *     thread count — per-thread CSR fragments are the disjoint row slices
+ *     themselves, already in query order.
  *
  * Kernels run in two passes (count, then fill into a caller-cumsum'd indptr)
  * so that all allocation stays on the numpy side; a NULL ``indptr`` selects
- * the counting pass.
+ * the counting pass.  When the compiler lacks -fopenmp the pragmas vanish
+ * and every kernel degrades to the identical serial loop (the build layer
+ * also retries without the flag, so a serial-C tier always exists).
  */
 
 #include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* OpenMP introspection for the dispatch layer: the worker count an
+ * unrestricted parallel region would use, or 0 for a serial build. */
+int repro_openmp_max_threads(void)
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 0;
+#endif
+}
 
 /* numpy einsum's pairwise association for a 3-component row. */
 static inline double dist2_3(const double *q, const double *p)
@@ -40,6 +63,11 @@ static int cmp_i64(const void *pa, const void *pb)
 
 /* ---------------------------------------------------------------------- */
 /* Uniform-grid stencil gather (neighbors/grid.py + GridNeighborBackend).  */
+/*                                                                         */
+/* The candidate coordinates arrive in SoA layout (cxs/cys/czs, 32-byte    */
+/* aligned, already gathered into cell order), so the inner distance loop  */
+/* streams three contiguous arrays instead of chasing ``order`` through    */
+/* an AoS points array; ``order`` is only read to emit the candidate id.   */
 /* ---------------------------------------------------------------------- */
 
 static int64_t cell_lookup(const int64_t *cell_table, int64_t ncells, int64_t nid)
@@ -57,17 +85,23 @@ static int64_t cell_lookup(const int64_t *cell_table, int64_t ncells, int64_t ni
 
 void repro_grid_scan(
     const double *qpts, int64_t nq,
-    const double *points,
+    const double *cxs, const double *cys, const double *czs,
     const int64_t *order,
     const int64_t *cell_table, const int64_t *cell_indptr, int64_t ncells,
     const double *origin, double cell_size, const int64_t *dims,
-    double r2, int self_query,
+    double r2, int self_query, int nthreads,
     const int64_t *indptr,
     int64_t *row_counts,
     int64_t *indices,
     int64_t *candidates_out)
 {
     int64_t candidates = 0;
+    if (nthreads < 1)
+        nthreads = 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthreads) \
+    if (nthreads > 1) reduction(+ : candidates)
+#endif
     for (int64_t i = 0; i < nq; ++i) {
         const double *q = qpts + 3 * i;
         int64_t c[3];
@@ -82,6 +116,7 @@ void repro_grid_scan(
         }
         int64_t nhits = 0;
         const int64_t base = indptr ? indptr[i] : 0;
+        const double qx = q[0], qy = q[1], qz = q[2];
         for (int64_t ox = -1; ox <= 1; ++ox) {
             const int64_t x = c[0] + ox;
             if (x < 0 || x >= dims[0])
@@ -102,10 +137,13 @@ void repro_grid_scan(
                     const int64_t e = cell_indptr[pos + 1];
                     candidates += e - s;
                     for (int64_t j = s; j < e; ++j) {
-                        const int64_t cand = order[j];
-                        if (self_query && cand == i)
-                            continue;
-                        if (dist2_3(q, points + 3 * cand) <= r2) {
+                        const double dx = qx - cxs[j];
+                        const double dy = qy - cys[j];
+                        const double dz = qz - czs[j];
+                        if ((dx * dx + dz * dz) + dy * dy <= r2) {
+                            const int64_t cand = order[j];
+                            if (self_query && cand == i)
+                                continue;
                             if (indices)
                                 indices[base + nhits] = cand;
                             ++nhits;
@@ -135,7 +173,7 @@ void repro_grid_scan(
 void repro_brute_block(
     const double *queries, int64_t nqb, int d,
     const double *data_t, int64_t nd,
-    double r2,
+    double r2, int nthreads,
     const int64_t *indptr,
     int64_t *row_counts,
     int64_t *indices)
@@ -143,6 +181,12 @@ void repro_brute_block(
     const double *xs = data_t;
     const double *ys = data_t + nd;
     const double *zs = (d == 3) ? data_t + 2 * nd : NULL;
+    if (nthreads < 1)
+        nthreads = 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthreads) \
+    if (nthreads > 1)
+#endif
     for (int64_t i = 0; i < nqb; ++i) {
         const double *q = queries + (int64_t)d * i;
         int64_t nhits = 0;
@@ -187,8 +231,9 @@ void repro_brute_block(
 /* pops.  node/leaf/candidate/confirmed counts and the max 1-based depth   */
 /* therefore match the numpy TraversalStats field by field.                */
 /*                                                                         */
-/* ``stack`` is caller-provided scratch of 2*(num_nodes+2) int64 (each     */
-/* node is pushed at most once per query, so num_nodes+2 entries suffice). */
+/* ``stack`` is caller-provided scratch of nthreads * 2*(num_nodes+2)      */
+/* int64 — one slab per worker (each node is pushed at most once per       */
+/* query, so num_nodes+2 entries per slab suffice).                        */
 /* ---------------------------------------------------------------------- */
 
 void repro_bvh_sphere(
@@ -197,17 +242,30 @@ void repro_bvh_sphere(
     const double *node_lo, const double *node_hi,
     const int64_t *children, const uint8_t *leaf_mask,
     const int64_t *prim_start, const int64_t *prim_count,
-    const int64_t *prim_indices,
+    const int64_t *prim_indices, int64_t num_nodes,
     const double *centers, double r2,
     int exclude_self, const int64_t *self_map, const uint8_t *active,
-    int64_t *stack,
+    int nthreads, int64_t *stack,
     const int64_t *indptr,
     int64_t *row_counts,
     int64_t *indices,
     int64_t *stats_out)
 {
+    const int64_t stride = 2 * (num_nodes + 2);
     int64_t nv = 0, lv = 0, cand = 0, conf = 0, maxlvl = 0;
+    (void)stride; /* only read inside the OpenMP region */
+    if (nthreads < 1)
+        nthreads = 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthreads) \
+    if (nthreads > 1) reduction(+ : nv, lv, cand, conf) reduction(max : maxlvl)
+#endif
     for (int64_t qi = 0; qi < nq; ++qi) {
+#ifdef _OPENMP
+        int64_t *stk = stack + (int64_t)omp_get_thread_num() * stride;
+#else
+        int64_t *stk = stack;
+#endif
         const double *qp = qpts + 3 * qi;
         const double *cp = confirm_pts + 3 * qi;
         const int64_t self_prim =
@@ -215,12 +273,12 @@ void repro_bvh_sphere(
         int64_t nhits = 0;
         const int64_t base = indptr ? indptr[qi] : 0;
         int64_t top = 1;
-        stack[0] = 0; /* root */
-        stack[1] = 1; /* 1-based depth */
+        stk[0] = 0; /* root */
+        stk[1] = 1; /* 1-based depth */
         while (top > 0) {
             --top;
-            const int64_t node = stack[2 * top];
-            const int64_t depth = stack[2 * top + 1];
+            const int64_t node = stk[2 * top];
+            const int64_t depth = stk[2 * top + 1];
             ++nv;
             if (depth > maxlvl)
                 maxlvl = depth;
@@ -247,10 +305,10 @@ void repro_bvh_sphere(
                     }
                 }
             } else {
-                stack[2 * top] = children[2 * node];
-                stack[2 * top + 1] = depth + 1;
-                stack[2 * top + 2] = children[2 * node + 1];
-                stack[2 * top + 3] = depth + 1;
+                stk[2 * top] = children[2 * node];
+                stk[2 * top + 1] = depth + 1;
+                stk[2 * top + 2] = children[2 * node + 1];
+                stk[2 * top + 3] = depth + 1;
                 top += 2;
             }
         }
@@ -270,6 +328,60 @@ void repro_bvh_sphere(
 }
 
 /* ---------------------------------------------------------------------- */
+/* Deduped candidate-pair confirm (neighbors/approx.py, the LSH backend).  */
+/*                                                                         */
+/* The LSH sweep dedupes its probe candidates into a composite key sorted  */
+/* by (query, candidate), so ``cands`` is ascending within each row and    */
+/* ``pair_indptr`` delimits every row's pair range — emitting hits in pair */
+/* order is already the canonical CSR form, no per-row sort needed.  The   */
+/* distance test replicates the numpy confirm (einsum association, hits    */
+/* filtered by the q != cand self rule) exactly.                           */
+/* ---------------------------------------------------------------------- */
+
+void repro_confirm_pairs(
+    const double *qblock, int64_t nqb, int d, int64_t qbase,
+    const double *points,
+    const int64_t *cands, const int64_t *pair_indptr,
+    double r2, int self_query, int nthreads,
+    const int64_t *indptr,
+    int64_t *row_counts,
+    int64_t *indices)
+{
+    if (nthreads < 1)
+        nthreads = 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthreads) \
+    if (nthreads > 1)
+#endif
+    for (int64_t i = 0; i < nqb; ++i) {
+        const double *q = qblock + (int64_t)d * i;
+        const int64_t self_id = qbase + i;
+        int64_t nhits = 0;
+        const int64_t base = indptr ? indptr[i] : 0;
+        for (int64_t k = pair_indptr[i]; k < pair_indptr[i + 1]; ++k) {
+            const int64_t c = cands[k];
+            double d2;
+            if (self_query && c == self_id)
+                continue;
+            if (d == 3) {
+                d2 = dist2_3(q, points + 3 * c);
+            } else {
+                const double dx = q[0] - points[2 * c];
+                const double dy = q[1] - points[2 * c + 1];
+                d2 = dx * dx + dy * dy;
+            }
+            if (d2 <= r2) {
+                if (indices)
+                    indices[base + nhits] = c;
+                ++nhits;
+            }
+        }
+        if (row_counts)
+            row_counts[i] = nhits;
+    }
+}
+
+/* ---------------------------------------------------------------------- */
 /* Batched union-find hook-and-jump rounds (dbscan/disjoint_set.py).       */
 /*                                                                         */
 /* Replicates ParallelDisjointSet.union_edges exactly: per round, freeze   */
@@ -277,7 +389,9 @@ void repro_bvh_sphere(
 /* min-hook the larger root of each root-differing edge onto the smaller   */
 /* (order-independent min accumulation), count those edges as hooks, and   */
 /* fully compress.  Returns the total hook count, or -1 on allocation      */
-/* failure (the caller falls back to the numpy rounds).                    */
+/* failure (the caller falls back to the numpy rounds).  Deliberately      */
+/* serial: the rounds are a sequential fixpoint over a shared parent       */
+/* array, and the loop is a negligible slice of the measured profile.      */
 /* ---------------------------------------------------------------------- */
 
 int64_t repro_uf_union_edges(

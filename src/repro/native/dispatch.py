@@ -1,9 +1,9 @@
 """Native-tier dispatch: the single decision point for numpy vs C kernels.
 
-Call sites (the grid/brute neighbour backends, the RT sphere launch, the
-batched union-find) ask :func:`kernels` for a :class:`NativeKernels` handle
-and fall back to their numpy path when it returns ``None``.  The answer is
-governed by, in priority order:
+Call sites (the grid/brute/kdtree neighbour backends, the approx confirm
+pass, the RT sphere launch, the batched union-find) ask :func:`kernels` for a
+:class:`NativeKernels` handle and fall back to their numpy path when it
+returns ``None``.  The answer is governed by, in priority order:
 
 1. the :func:`override` context manager (the ``native=`` field on
    ``ClustererSpec`` / ``RTDBSCAN`` pushes one around a fit),
@@ -16,8 +16,16 @@ governed by, in priority order:
 
 ``REPRO_NATIVE=0`` (or an active ``override(False)``) short-circuits before
 any build attempt, so disabling the tier guarantees no compiler is invoked.
-The numpy and native paths produce byte-identical CSR adjacencies, labels and
-charged operation counts; the tier only changes wall-clock time.
+
+Thread fan-out is governed the same way: :func:`thread_override` (pushed by
+the ``native_threads=`` spec field) wins over the ``REPRO_NATIVE_THREADS``
+environment variable (``auto`` or unset → one worker per core, a positive
+integer → that many workers; anything else is treated as ``auto``), and both
+collapse to a single thread when the loaded build lacks OpenMP.  The numpy
+and native paths — at *any* thread count — produce byte-identical CSR
+adjacencies, labels and charged operation counts, because each query owns a
+disjoint CSR row slice and the shared totals are exact integer reductions;
+the tier and thread count only change wall-clock time.
 """
 
 from __future__ import annotations
@@ -36,6 +44,9 @@ __all__ = [
     "active_tier",
     "mode",
     "override",
+    "thread_override",
+    "requested_threads",
+    "resolve_threads",
     "status",
 ]
 
@@ -44,9 +55,24 @@ _log = logging.getLogger("repro.native")
 _lock = threading.Lock()
 _state: dict = {"attempted": False, "kernels": None, "reason": None}
 _override_stack: list[bool] = []
+_thread_stack: list[int | None] = []
 
 _OFF_VALUES = frozenset(("0", "false", "off", "no"))
 _ON_VALUES = frozenset(("1", "true", "on", "yes"))
+
+#: Kernel slots a native-tier fit can engage, keyed by the layer they serve.
+KERNEL_SLOTS = {
+    "grid_scan": "neighbors/backend.py (grid stencil gather)",
+    "brute_block": "neighbors/brute.py (blocked confirm sweep)",
+    "bvh_sphere": "rtcore/pipeline.py + neighbors/backend.py (rt + kdtree)",
+    "confirm_pairs": "neighbors/approx.py (lsh exact-distance confirm)",
+    "uf_union_edges": "dbscan/disjoint_set.py (batched union-find, serial)",
+}
+
+#: Kernels whose query loop fans out across OpenMP threads.
+PARALLEL_KERNELS = frozenset(
+    ("grid_scan", "brute_block", "bvh_sphere", "confirm_pairs")
+)
 
 
 def _env_mode() -> str:
@@ -67,6 +93,34 @@ def mode() -> str:
     if _override_stack:
         return "on" if _override_stack[-1] else "off"
     return _env_mode()
+
+
+def _env_threads() -> int | None:
+    """``REPRO_NATIVE_THREADS`` parsed to a worker count, ``None`` = auto.
+
+    Accepts ``auto`` (or unset/empty) and positive integers; zero, negative
+    numbers and garbage all collapse to auto rather than raising — the knob
+    must never be able to break a fit.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip().lower()
+    if not raw or raw == "auto":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def requested_threads() -> int | None:
+    """The requested worker count (``None`` = auto), before availability.
+
+    An active :func:`thread_override` wins over ``REPRO_NATIVE_THREADS``;
+    both are consulted at call time, never cached.
+    """
+    if _thread_stack:
+        return _thread_stack[-1]
+    return _env_threads()
 
 
 def _load() -> "NativeKernels | None":
@@ -110,6 +164,19 @@ def active_tier() -> str:
     return "native" if available() else "numpy"
 
 
+def resolve_threads() -> int:
+    """The worker count a parallel kernel launched right now would use.
+
+    ``1`` whenever the native tier is off/unavailable or the loaded build
+    lacks OpenMP; otherwise the requested count, with auto resolving to one
+    worker per core (``omp_get_max_threads``).
+    """
+    nk = kernels()
+    if nk is None:
+        return 1
+    return nk.resolve_threads()
+
+
 @contextmanager
 def override(enabled: bool):
     """Force the tier on/off for the dynamic extent of a ``with`` block.
@@ -124,28 +191,66 @@ def override(enabled: bool):
         _override_stack.pop()
 
 
+@contextmanager
+def thread_override(nthreads: int | None):
+    """Pin the worker count (``None`` = auto) for a ``with`` block.
+
+    This is how the ``native_threads=`` field of ``ClustererSpec`` /
+    ``RTDBSCAN`` is applied around a single fit without touching the
+    process-wide ``REPRO_NATIVE_THREADS`` environment.
+    """
+    value = None if nthreads is None else max(1, int(nthreads))
+    _thread_stack.append(value)
+    try:
+        yield
+    finally:
+        _thread_stack.pop()
+
+
 def status() -> dict:
     """Diagnostic snapshot for the ``rt-dbscan native`` CLI subcommand."""
-    from .build import cache_dir, module_name
+    from .build import cache_dir, kernel_source, module_name, openmp_requested
 
     try:
-        name = module_name()
+        source = kernel_source()
+        names = {v: module_name(source, v) for v in ("omp", "serial")}
     except OSError:  # pragma: no cover - missing _kernels.c
-        name = None
+        names = {"omp": None, "serial": None}
     current = mode()
     if current != "off":
         _load()  # make 'built'/'reason' reflect an actual attempt
+    nk = _state["kernels"]
+    active = current != "off" and nk is not None
+    openmp = None if nk is None else nk.has_openmp
+    tier = "native" if active else "numpy"
     return {
         "mode": current,
         "env": os.environ.get("REPRO_NATIVE", None),
-        "active": available(),
-        "built": _state["kernels"] is not None,
+        "active": active,
+        "built": nk is not None,
         "attempted": _state["attempted"],
         "fallback_reason": (
             "disabled via REPRO_NATIVE=0 / override" if current == "off" else _state["reason"]
         ),
-        "module": name,
+        "module": names["omp" if openmp in (None, True) else "serial"],
         "cache_dir": str(cache_dir()),
+        "variant": None if nk is None else ("omp" if openmp else "serial"),
+        "openmp": openmp,
+        "openmp_requested": openmp_requested(),
+        "max_threads": None if nk is None else nk.openmp_max_threads(),
+        "threads_env": os.environ.get("REPRO_NATIVE_THREADS", None),
+        "requested_threads": requested_threads(),
+        "resolved_threads": nk.resolve_threads() if active else 1,
+        "kernels": {
+            name: {
+                "serves": where,
+                "tier": tier,
+                "parallel": active
+                and bool(openmp)
+                and name in PARALLEL_KERNELS,
+            }
+            for name, where in KERNEL_SLOTS.items()
+        },
     }
 
 
@@ -154,6 +259,7 @@ def _reset_for_testing() -> None:
     with _lock:
         _state.update({"attempted": False, "kernels": None, "reason": None})
     _override_stack.clear()
+    _thread_stack.clear()
 
 
 # ------------------------------------------------------------------------- #
@@ -176,12 +282,35 @@ class NativeKernels:
 
     Every wrapper validates dtypes/contiguity and returns ``None`` when a
     precondition fails, which the call site treats exactly like an absent
-    native tier — the numpy path runs instead.
+    native tier — the numpy path runs instead.  Wrappers resolve the worker
+    count per call (so ``thread_override`` takes effect mid-process) and the
+    two passes of a count/fill pair always resolve identically because they
+    run under the same override/environment.
     """
 
     def __init__(self, lib, ffi) -> None:
         self.lib = lib
         self.ffi = ffi
+        #: 0 when compiled without OpenMP; else the unrestricted worker count.
+        self._omp_max = int(lib.repro_openmp_max_threads())
+
+    # -- thread resolution ----------------------------------------------- #
+    @property
+    def has_openmp(self) -> bool:
+        return self._omp_max > 0
+
+    def openmp_max_threads(self) -> int:
+        """``omp_get_max_threads()`` of the loaded build, 0 for serial."""
+        return self._omp_max
+
+    def resolve_threads(self) -> int:
+        """Worker count for the next parallel kernel launch (>= 1)."""
+        if not self.has_openmp:
+            return 1
+        requested = requested_threads()
+        if requested is None:
+            return self._omp_max
+        return max(1, requested)
 
     # -- buffer helpers ------------------------------------------------- #
     def _f64(self, arr: np.ndarray):
@@ -200,7 +329,7 @@ class NativeKernels:
     def grid_scan(
         self,
         qpts: np.ndarray,
-        points: np.ndarray,
+        soa: tuple[np.ndarray, np.ndarray, np.ndarray],
         order: np.ndarray,
         cell_table: np.ndarray,
         cell_indptr: np.ndarray,
@@ -214,20 +343,29 @@ class NativeKernels:
         row_counts: np.ndarray | None = None,
         indices: np.ndarray | None = None,
     ) -> int | None:
-        """One stencil-gather pass; returns the charged candidate total."""
-        arrays_f = (qpts, points, origin)
+        """One stencil-gather pass; returns the charged candidate total.
+
+        ``soa`` is the cell-ordered candidate coordinates as three aligned
+        1-D arrays (see ``GridNeighborBackend._grid_soa``).
+        """
+        cxs, cys, czs = soa
+        arrays_f = (qpts, cxs, cys, czs, origin)
         arrays_i = (order, cell_table, cell_indptr, dims)
         if not all(_is_c_f64(a) for a in arrays_f):
             return None
         if not all(_is_c_i64(a) for a in arrays_i):
             return None
-        if qpts.ndim != 2 or qpts.shape[1] != 3 or points.shape[1:] != (3,):
+        if qpts.ndim != 2 or qpts.shape[1] != 3:
+            return None
+        if not (cxs.shape == cys.shape == czs.shape == order.shape):
             return None
         cand_out = np.zeros(1, dtype=np.int64)
         self.lib.repro_grid_scan(
             self._f64(qpts),
             qpts.shape[0],
-            self._f64(points),
+            self._f64(cxs),
+            self._f64(cys),
+            self._f64(czs),
             self._i64(order),
             self._i64(cell_table),
             self._i64(cell_indptr),
@@ -237,6 +375,7 @@ class NativeKernels:
             self._i64(dims),
             float(r2),
             1 if self_query else 0,
+            self.resolve_threads(),
             self.ffi.NULL if indptr is None else self._i64(indptr),
             self.ffi.NULL if row_counts is None else self._i64w(row_counts),
             self.ffi.NULL if indices is None else self._i64w(indices),
@@ -268,6 +407,7 @@ class NativeKernels:
             self._f64(data_t),
             data_t.shape[1],
             float(r2),
+            self.resolve_threads(),
             self.ffi.NULL if indptr is None else self._i64(indptr),
             self.ffi.NULL if row_counts is None else self._i64w(row_counts),
             self.ffi.NULL if indices is None else self._i64w(indices),
@@ -286,13 +426,16 @@ class NativeKernels:
         exclude_self: bool = False,
         self_map: np.ndarray | None = None,
         active: np.ndarray | None = None,
-        stack: np.ndarray,
         indptr: np.ndarray | None = None,
         row_counts: np.ndarray | None = None,
         indices: np.ndarray | None = None,
         stats: np.ndarray | None = None,
     ) -> bool:
-        """One DFS sphere-query pass over ``bvh`` (count or fill mode)."""
+        """One DFS sphere-query pass over ``bvh`` (count or fill mode).
+
+        DFS scratch is allocated here — one slab per resolved worker, each
+        sized for the worst-case push depth of a single query.
+        """
         arrays_f = (qpts, confirm_pts, bvh.node_lower, bvh.node_upper, centers)
         arrays_i = (bvh.children, bvh.prim_start, bvh.prim_count, bvh.prim_indices)
         if not all(_is_c_f64(a) for a in arrays_f):
@@ -314,6 +457,9 @@ class NativeKernels:
             and active.shape[0] >= centers.shape[0]
         ):
             return False
+        num_nodes = bvh.node_lower.shape[0]
+        nthreads = self.resolve_threads()
+        stack = np.empty(nthreads * 2 * (num_nodes + 2), dtype=np.int64)
         self.lib.repro_bvh_sphere(
             self._f64(qpts),
             qpts.shape[0],
@@ -325,16 +471,61 @@ class NativeKernels:
             self._i64(bvh.prim_start),
             self._i64(bvh.prim_count),
             self._i64(bvh.prim_indices),
+            num_nodes,
             self._f64(centers),
             float(r2),
             1 if exclude_self else 0,
             self.ffi.NULL if self_map is None else self._i64(self_map),
             self.ffi.NULL if active is None else self._u8(active.view(np.uint8)),
+            nthreads,
             self._i64w(stack),
             self.ffi.NULL if indptr is None else self._i64(indptr),
             self.ffi.NULL if row_counts is None else self._i64w(row_counts),
             self.ffi.NULL if indices is None else self._i64w(indices),
             self.ffi.NULL if stats is None else self._i64w(stats),
+        )
+        return True
+
+    # -- approx confirm --------------------------------------------------- #
+    def confirm_pairs(
+        self,
+        qblock: np.ndarray,
+        qbase: int,
+        points: np.ndarray,
+        cands: np.ndarray,
+        pair_indptr: np.ndarray,
+        r2: float,
+        self_query: bool,
+        *,
+        indptr: np.ndarray | None = None,
+        row_counts: np.ndarray | None = None,
+        indices: np.ndarray | None = None,
+    ) -> bool:
+        """Exact-distance confirm of deduped (query, candidate) pair rows."""
+        if not (_is_c_f64(qblock) and _is_c_f64(points)):
+            return False
+        if not (_is_c_i64(cands) and _is_c_i64(pair_indptr)):
+            return False
+        if qblock.ndim != 2 or qblock.shape[1] not in (2, 3):
+            return False
+        if points.ndim != 2 or points.shape[1] != qblock.shape[1]:
+            return False
+        if pair_indptr.shape[0] != qblock.shape[0] + 1:
+            return False
+        self.lib.repro_confirm_pairs(
+            self._f64(qblock),
+            qblock.shape[0],
+            qblock.shape[1],
+            int(qbase),
+            self._f64(points),
+            self._i64(cands),
+            self._i64(pair_indptr),
+            float(r2),
+            1 if self_query else 0,
+            self.resolve_threads(),
+            self.ffi.NULL if indptr is None else self._i64(indptr),
+            self.ffi.NULL if row_counts is None else self._i64w(row_counts),
+            self.ffi.NULL if indices is None else self._i64w(indices),
         )
         return True
 

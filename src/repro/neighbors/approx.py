@@ -48,6 +48,7 @@ import numpy as np
 
 from ..adjacency import expand_ranges
 from ..api.registry import register_backend
+from ..native import dispatch as native_dispatch
 from .backend import _HostNeighborBackend
 from .brute import pairwise_within_blocks
 
@@ -117,6 +118,7 @@ def _brute_scan(backend, qpts, self_query, collect):
     description="Approximate random-projection LSH bucketing with exact confirm "
                 "(recall_target/num_probes speed knob).",
     exact=False,
+    native=True,
     knobs=("recall_target", "num_probes", "width_factor", "seed", "max_probes",
            "block_size"),
 )
@@ -229,6 +231,10 @@ class LSHNeighborBackend(_HostNeighborBackend):
             pair_key = np.unique(rep_q.astype(np.int64) * n + cand)
             rep_q = (pair_key // n).astype(np.intp)
             cand = (pair_key % n).astype(np.intp)
+            if self._confirm_native(
+                block, lo, hi, rep_q, cand, r2, self_query, row_counts, parts
+            ):
+                continue
             d = block[rep_q - lo] - self.points[cand]
             hit = np.einsum("ij,ij->i", d, d) <= r2
             if self_query:
@@ -239,12 +245,51 @@ class LSHNeighborBackend(_HostNeighborBackend):
                 parts.append(hc)
         return row_counts, parts, candidates, nq * self.effective_probes
 
+    def _confirm_native(
+        self, block, lo, hi, rep_q, cand, r2, self_query, row_counts, parts
+    ) -> bool:
+        """Confirm one block's deduped pairs on the native tier.
+
+        ``rep_q``/``cand`` come out of the composite-key dedupe sorted by
+        ``(query, candidate)``, so each row's pair range is found with one
+        ``searchsorted`` and hits emitted in pair order are already the
+        canonical ascending CSR row — the C kernel never needs a sort.
+        Fills ``row_counts[lo:hi]`` (and appends the indices fragment when
+        collecting); returns False to run the numpy confirm instead.
+        """
+        nk = native_dispatch.kernels()
+        if nk is None:
+            return False
+        qblock = np.ascontiguousarray(block)
+        cands = np.ascontiguousarray(cand, dtype=np.int64)
+        pair_indptr = np.ascontiguousarray(
+            np.searchsorted(rep_q, np.arange(lo, hi + 1)), dtype=np.int64
+        )
+        rc = np.zeros(hi - lo, dtype=np.int64)
+        if not nk.confirm_pairs(
+            qblock, lo, self.points, cands, pair_indptr, r2, self_query,
+            row_counts=rc,
+        ):
+            return False
+        row_counts[lo:hi] = rc
+        if parts is not None:
+            indptr = np.zeros(hi - lo + 1, dtype=np.int64)
+            np.cumsum(rc, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.intp)
+            nk.confirm_pairs(
+                qblock, lo, self.points, cands, pair_indptr, r2, self_query,
+                indptr=indptr, indices=indices,
+            )
+            parts.append(indices)
+        return True
+
 
 @register_backend(
     "sampled",
     description="Approximate sampled-candidate prescreen with exact confirm "
                 "(sample_rate speed knob).",
     exact=False,
+    native=True,
     knobs=("sample_rate", "seed", "block_size"),
 )
 @dataclass

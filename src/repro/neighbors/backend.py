@@ -28,7 +28,6 @@ they differ only in the operations they charge to the device cost model
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -36,6 +35,7 @@ import numpy as np
 
 from ..adjacency import csr_row_ids, expand_ranges
 from ..api.registry import register_backend
+from ..bvh.traversal import point_query_counts_early_exit, point_query_csr
 from ..geometry.transforms import ensure_points3d
 from ..native import dispatch as native_dispatch
 from ..perf.cost_model import OpCounts
@@ -79,6 +79,21 @@ class NeighborBackend(Protocol):
     ) -> tuple[np.ndarray, np.ndarray, LaunchStats]: ...
 
     def release(self) -> None: ...
+
+
+def _aligned_copy(arr: np.ndarray, alignment: int = 32) -> np.ndarray:
+    """A C-contiguous float64 copy whose data pointer is ``alignment``-aligned.
+
+    numpy only guarantees 16-byte alignment from its allocator; the native
+    SoA kernels want vector-width (AVX, 32-byte) alignment, so the copy is
+    carved at the right offset out of an over-allocated byte buffer.
+    """
+    arr = np.ascontiguousarray(arr, dtype=np.float64)
+    buf = np.empty(arr.nbytes + alignment, dtype=np.uint8)
+    offset = (-buf.ctypes.data) % alignment
+    out = buf[offset : offset + arr.nbytes].view(np.float64)
+    out[:] = arr.ravel()
+    return out
 
 
 # ------------------------------------------------------------------------- #
@@ -259,6 +274,23 @@ class GridNeighborBackend(_HostNeighborBackend):
         self.build_seconds = self.device.cost_model.build_time_s(self.num_points, unit="sm")
         self._mem_label = f"grid_backend_{id(self)}"
         self.device.memory.allocate(self._mem_label, self.grid.memory_bytes())
+        self._soa: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _grid_soa(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate coordinates in cell order as three 32-byte-aligned arrays.
+
+        The native stencil kernel streams these SoA lanes instead of chasing
+        ``grid.order`` through the (n, 3) points array, so its inner distance
+        loop reads three contiguous, vector-width-aligned streams.  Built
+        lazily on the first native scan and cached for the backend's life.
+        """
+        if self._soa is None:
+            gathered = self.points[self.grid.order]
+            self._soa = tuple(
+                _aligned_copy(np.ascontiguousarray(gathered[:, k]))
+                for k in range(3)
+            )
+        return self._soa
 
     def _scan_native(self, qpts, self_query, collect):
         """The stencil sweep on the native tier (or ``None`` to use numpy).
@@ -271,10 +303,11 @@ class GridNeighborBackend(_HostNeighborBackend):
         if nk is None:
             return None
         grid = self.grid
+        soa = self._grid_soa()
         qpts = np.ascontiguousarray(qpts)
         row_counts = np.zeros(qpts.shape[0], dtype=np.int64)
         candidates = nk.grid_scan(
-            qpts, self.points, grid.order, grid.cell_table, grid.cell_indptr,
+            qpts, soa, grid.order, grid.cell_table, grid.cell_indptr,
             grid.origin, grid.cell_size, grid.dims,
             self.radius * self.radius, self_query, row_counts=row_counts,
         )
@@ -286,7 +319,7 @@ class GridNeighborBackend(_HostNeighborBackend):
         np.cumsum(row_counts, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.intp)
         nk.grid_scan(
-            qpts, self.points, grid.order, grid.cell_table, grid.cell_indptr,
+            qpts, soa, grid.order, grid.cell_table, grid.cell_indptr,
             grid.origin, grid.cell_size, grid.dims,
             self.radius * self.radius, self_query,
             indptr=indptr, indices=indices,
@@ -324,63 +357,92 @@ class GridNeighborBackend(_HostNeighborBackend):
 
 @register_backend(
     "kdtree",
-    description="KD-tree fixed-radius search (scipy cKDTree) on the shader cores.",
+    description="Median-split KD-tree fixed-radius search on the shader cores.",
+    native=True,
 )
 @dataclass
 class KDTreeNeighborBackend(_HostNeighborBackend):
     """KD-tree search — the CPU fast path for interactive use and refits.
 
-    Stage-1 counts use ``query_ball_point(..., return_length=True)`` — no
-    neighbour lists are ever built; the CSR sweep converts the tree's
-    per-block result lists immediately and releases them.
+    The tree is a median-split KD-tree materialised in BVH array form
+    (:func:`~repro.bvh.kdtree.build_kdtree` over eps-sphere boxes), so both
+    query tiers reuse the parity-proven sphere traversal kernels: the numpy
+    level-synchronous wavefront (:func:`~repro.bvh.traversal.point_query_csr`
+    / counts) and the native DFS (``bvh_sphere``).  Charged node-visit and
+    candidate counts are the real traversal counters — previously this
+    backend wrapped scipy's cKDTree and charged a synthetic depth estimate.
     """
 
     leafsize: int = 16
-    block_size: int = 8192
 
     def _build(self) -> None:
-        from scipy.spatial import cKDTree
+        from ..bvh.kdtree import build_kdtree
+        from ..geometry.aabb import AABB
 
-        self.tree = cKDTree(self.points, leafsize=self.leafsize)
+        # eps-sphere boxes around each point, ulp-padded outward exactly like
+        # SphereGeometry.bounds so AABB pruning stays conservative wrt the
+        # rounded d^2 <= r^2 confirm.
+        r = self.radius
+        pad = 4.0 * np.finfo(np.float64).eps * (np.abs(self.points) + r)
+        self.bvh = build_kdtree(
+            AABB(self.points - r - pad, self.points + r + pad),
+            leaf_size=self.leafsize,
+        )
         self.build_seconds = self.device.cost_model.build_time_s(self.num_points, unit="sm")
         self._mem_label = f"kdtree_backend_{id(self)}"
-        # Tree nodes + a copy of the coordinates, roughly 2x the point bytes.
-        self.device.memory.allocate(self._mem_label, 2 * self.points.nbytes)
+        self.device.memory.allocate(self._mem_label, self.bvh.memory_bytes())
 
-    def _node_visits(self, nq: int) -> int:
-        depth = max(1, math.ceil(math.log2(max(self.num_points, 2))))
-        return nq * depth
+    def _confirm(self, qpts, self_query):
+        """Exact-sphere Intersection program for the numpy traversal tier."""
+        pts = self.points
+        r2 = self.radius * self.radius
+
+        def confirm(rep_q: np.ndarray, rep_p: np.ndarray) -> np.ndarray:
+            d = qpts[rep_q] - pts[rep_p]
+            hit = np.einsum("ij,ij->i", d, d) <= r2
+            if self_query:
+                hit &= rep_q != rep_p
+            return hit
+
+        return confirm
+
+    def _scan_native(self, qpts, self_query, collect):
+        """The KD sweep on the native DFS kernel (or ``None`` to use numpy)."""
+        nk = native_dispatch.kernels()
+        if nk is None:
+            return None
+        qpts = np.ascontiguousarray(qpts)
+        nq = qpts.shape[0]
+        row_counts = np.zeros(nq, dtype=np.int64)
+        stats_buf = np.zeros(5, dtype=np.int64)
+        kwargs = dict(exclude_self=self_query)
+        ok = nk.bvh_sphere(
+            qpts, qpts, self.bvh, self.points, self.radius * self.radius,
+            row_counts=row_counts, stats=stats_buf, **kwargs,
+        )
+        if not ok:
+            return None
+        candidates = int(stats_buf[2])
+        node_visits = int(stats_buf[0])
+        if not collect:
+            return row_counts, None, candidates, node_visits
+        indptr = np.zeros(nq + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.intp)
+        nk.bvh_sphere(
+            qpts, qpts, self.bvh, self.points, self.radius * self.radius,
+            indptr=indptr, indices=indices, **kwargs,
+        )
+        return row_counts, [indices], candidates, node_visits
 
     def _scan(self, qpts, self_query, collect):
-        nq = qpts.shape[0]
+        native = self._scan_native(qpts, self_query, collect)
+        if native is not None:
+            return native
+        confirm = self._confirm(qpts, self_query)
         if not collect:
-            lens = self.tree.query_ball_point(
-                qpts, r=self.radius, return_length=True
-            ).astype(np.int64)
-            candidates = int(lens.sum())
-            row_counts = lens - 1 if self_query else lens
-            return row_counts, None, candidates, self._node_visits(nq)
-
-        row_counts = np.zeros(nq, dtype=np.int64)
-        parts: list[np.ndarray] = []
-        candidates = 0
-        for lo in range(0, nq, self.block_size):
-            hi = min(nq, lo + self.block_size)
-            lists = self.tree.query_ball_point(
-                qpts[lo:hi], r=self.radius, return_sorted=True
-            )
-            lens = np.asarray([len(lst) for lst in lists], dtype=np.int64)
-            candidates += int(lens.sum())
-            di = (
-                np.concatenate([np.asarray(lst, dtype=np.intp) for lst in lists if lst])
-                if lens.sum()
-                else np.empty(0, dtype=np.intp)
-            )
-            if self_query:
-                rep_q = np.repeat(np.arange(lo, hi, dtype=np.intp), lens)
-                di = di[di != rep_q]
-                row_counts[lo:hi] = lens - 1
-            else:
-                row_counts[lo:hi] = lens
-            parts.append(di)
-        return row_counts, parts, candidates, self._node_visits(nq)
+            counts, stats = point_query_counts_early_exit(self.bvh, qpts, confirm)
+            return counts, None, stats.candidates, stats.node_visits
+        indptr, indices, stats = point_query_csr(self.bvh, qpts, confirm)
+        row_counts = np.diff(indptr).astype(np.int64)
+        return row_counts, [indices], stats.candidates, stats.node_visits

@@ -79,6 +79,8 @@ class TileJob:
     #: from the parent's dispatcher) so process-pool workers — fresh
     #: interpreters with their own dispatch state — honour it too.
     native: bool | None = None
+    #: OpenMP worker-count override, carried for the same reason.
+    native_threads: int | None = None
 
 
 @dataclass
@@ -153,7 +155,12 @@ def run_tile(job: TileJob) -> TileRunResult:
         if job.native is not None
         else contextlib.nullcontext()
     )
-    with ctx:
+    tctx = (
+        native_dispatch.thread_override(job.native_threads)
+        if job.native_threads is not None
+        else contextlib.nullcontext()
+    )
+    with ctx, tctx:
         finder = make_backend(
             job.backend, points, job.eps, device=device, **job.backend_kwargs
         )
@@ -252,6 +259,10 @@ class TiledRTDBSCAN(ClustererMixin):
         workers honour it too): ``True`` forces the compiled C kernels,
         ``False`` forces pure numpy, ``None`` defers to ``REPRO_NATIVE``.
         Labels and charged operation counts are identical either way.
+    native_threads:
+        OpenMP worker-count override for the native kernels, carried into
+        every tile job like ``native``; ``None`` defers to
+        ``REPRO_NATIVE_THREADS``.  Byte-identical results at any count.
     """
 
     eps: float
@@ -268,6 +279,7 @@ class TiledRTDBSCAN(ClustererMixin):
     keep_neighbor_counts: bool = True
     backend_kwargs: dict | None = None
     native: bool | None = None
+    native_threads: int | None = None
 
     def __post_init__(self) -> None:
         self.params = DBSCANParams(eps=self.eps, min_pts=self.min_pts)
@@ -333,6 +345,7 @@ class TiledRTDBSCAN(ClustererMixin):
                 cost_model=self.device.cost_model,
                 has_rt_cores=self.device.has_rt_cores,
                 native=self.native,
+                native_threads=self.native_threads,
             )
             for t, (p_arr, i_arr) in zip(tiles, payloads)
         ]
@@ -348,7 +361,12 @@ class TiledRTDBSCAN(ClustererMixin):
             if self.native is not None
             else contextlib.nullcontext()
         )
-        with ctx:
+        tctx = (
+            native_dispatch.thread_override(self.native_threads)
+            if self.native_threads is not None
+            else contextlib.nullcontext()
+        )
+        with ctx, tctx:
             return self._fit(points)
 
     def _fit(self, points: np.ndarray) -> DBSCANResult:

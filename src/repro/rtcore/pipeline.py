@@ -68,14 +68,12 @@ def _native_sphere_query(bvh, pts: np.ndarray, programs: ProgramGroup, collect: 
     if confirm_pts.shape[0] < qpts.shape[0]:
         return None
     nq = qpts.shape[0]
-    stack = np.empty(2 * (bvh.node_lower.shape[0] + 2), dtype=np.int64)
     row_counts = np.zeros(nq, dtype=np.int64)
     stats_buf = np.zeros(5, dtype=np.int64)
     kwargs = dict(
         exclude_self=desc.get("exclude_self", False),
         self_map=desc.get("self_map"),
         active=desc.get("active"),
-        stack=stack,
     )
     ok = nk.bvh_sphere(
         qpts, confirm_pts, bvh, centers, desc["r2"],

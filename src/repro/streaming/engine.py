@@ -152,6 +152,10 @@ class StreamingRTDBSCAN(ClustererMixin):
         forces the compiled C kernels, ``False`` forces pure numpy,
         ``None`` (default) defers to the ``REPRO_NATIVE`` environment knob.
         Labels and charged operation counts are identical either way.
+    native_threads:
+        OpenMP worker-count override for the native kernels, applied to
+        every :meth:`update` like ``native``; ``None`` (default) defers to
+        ``REPRO_NATIVE_THREADS``.  Byte-identical results at any count.
 
     Examples
     --------
@@ -174,9 +178,11 @@ class StreamingRTDBSCAN(ClustererMixin):
         chunk_size: int = 16384,
         initial_capacity: int = 256,
         native: bool | None = None,
+        native_threads: int | None = None,
     ) -> None:
         self.params = DBSCANParams(eps=eps, min_pts=min_pts)
         self.native = native
+        self.native_threads = native_threads
         if window is not None and window < 1:
             raise ValueError("window must be a positive integer or None")
         self.window = window
@@ -294,14 +300,20 @@ class StreamingRTDBSCAN(ClustererMixin):
         return ensure_points3d(pts, name="chunk")
 
     # ------------------------------------------------------------------ #
+    def _native_ctx(self) -> contextlib.ExitStack:
+        """Tier + thread overrides for one update (no-op when both unset)."""
+        stack = contextlib.ExitStack()
+        if self.native is not None:
+            stack.enter_context(native_dispatch.override(self.native))
+        if self.native_threads is not None:
+            stack.enter_context(
+                native_dispatch.thread_override(self.native_threads)
+            )
+        return stack
+
     def update(self, points: np.ndarray) -> StreamUpdate:
         """Ingest one chunk, slide the window, and re-cluster incrementally."""
-        ctx = (
-            native_dispatch.override(self.native)
-            if self.native is not None
-            else contextlib.nullcontext()
-        )
-        with ctx:
+        with self._native_ctx():
             return self._update(points)
 
     def _update(self, points: np.ndarray) -> StreamUpdate:
@@ -568,12 +580,7 @@ class StreamingRTDBSCAN(ClustererMixin):
         """
         win = self._window_slots()
         labels, core_mask = self._window_labels(win)
-        ctx = (
-            native_dispatch.override(self.native)
-            if self.native is not None
-            else contextlib.nullcontext()
-        )
-        with ctx:
+        with self._native_ctx():
             kernel_tier = native_dispatch.active_tier()
         return DBSCANResult(
             labels=labels,

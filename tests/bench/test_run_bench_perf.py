@@ -52,12 +52,39 @@ class TestPerfProfile:
         if not dispatch.available():
             assert comparisons == []
             return
-        assert {c["backend"] for c in comparisons} == {"rt", "grid", "brute"}
+        assert {c["backend"] for c in comparisons} == {"rt", "grid", "kdtree", "brute"}
         for c in comparisons:
             assert c["labels_identical"] is True
             assert c["counts_identical"] is True
             assert c["simulated_seconds_identical"] is True
             assert c["wall_speedup"] > 0
+
+    def test_thread_scaling_cells_hold_parity(self, snapshot):
+        from repro.native import dispatch
+
+        if not dispatch.available():
+            assert "thread_scaling" not in snapshot["perf"]
+            return
+        scaling = snapshot["perf"]["thread_scaling"]
+        assert scaling["threads_axis"][0] == 1
+        assert scaling["cpu_count"] >= 1
+        for r in scaling["records"]:
+            assert r["labels_identical"] is True
+            assert r["counts_identical"] is True
+            assert r["simulated_seconds_identical"] is True
+            assert r["speedup_vs_1_thread"] > 0
+            assert r["resolved_threads"] >= 1
+
+    def test_confirm_kernel_microbench(self, snapshot):
+        from repro.native import dispatch
+
+        if not dispatch.available():
+            assert "confirm_kernel" not in snapshot["perf"]
+            return
+        confirm = snapshot["perf"]["confirm_kernel"]
+        assert confirm["identical"] is True
+        assert confirm["pairs"] > 0
+        assert confirm["wall_speedup"] > 0
 
     def test_records_carry_host_metrics(self, snapshot):
         for rec in snapshot["perf"]["records"]:

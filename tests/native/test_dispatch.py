@@ -109,10 +109,11 @@ class TestFailedBuildFallsBack:
 
 class TestRegistryMetadata:
     def test_native_capable_backends_are_tagged(self):
-        for name in ("rt", "grid", "brute"):
+        # Since the parallel-tier PR every registered backend has a compiled
+        # implementation of its hot loop (kdtree via the shared BVH DFS, lsh
+        # via the pair-confirm kernel, sampled via the brute block sweep).
+        for name in ("rt", "grid", "brute", "kdtree", "lsh", "sampled"):
             assert get_backend(name).native, name
-        for name in ("kdtree", "lsh", "sampled"):
-            assert not get_backend(name).native, name
 
     def test_native_capable_algorithms_are_tagged(self):
         for name in ("rt-dbscan", "rt-dbscan-tiled", "streaming-rt-dbscan"):
@@ -139,3 +140,84 @@ class TestModuleNaming:
         assert name.startswith("_repro_kernels_")
         # Stable across calls: the name is a hash of the cdef + C source.
         assert build.module_name() == name
+
+    def test_variants_get_distinct_names(self):
+        omp = build.module_name(variant="omp")
+        serial = build.module_name(variant="serial")
+        assert omp != serial
+        assert "_omp_" in omp and "_serial_" in serial
+        # The default variant is the OpenMP build.
+        assert build.module_name() == omp
+
+
+class TestThreadResolution:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("auto", None), ("AUTO", None), ("", None),
+            ("4", 4), ("1", 1), ("16", 16),
+            # Zero, negatives and garbage collapse to auto, never raise.
+            ("0", None), ("-3", None), ("garbage", None), ("2.5", None),
+        ],
+    )
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", value)
+        assert dispatch.requested_threads() == expected
+
+    def test_unset_env_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        assert dispatch.requested_threads() is None
+
+    def test_thread_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "8")
+        assert dispatch.requested_threads() == 8
+        with dispatch.thread_override(2):
+            assert dispatch.requested_threads() == 2
+            with dispatch.thread_override(None):
+                assert dispatch.requested_threads() is None
+            assert dispatch.requested_threads() == 2
+        assert dispatch.requested_threads() == 8
+
+    def test_resolve_is_one_when_tier_off(self, monkeypatch, fresh_dispatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "8")
+        assert fresh_dispatch.resolve_threads() == 1
+
+    def test_resolve_matches_requested_when_openmp(self, monkeypatch, fresh_dispatch):
+        nk = fresh_dispatch.kernels()
+        if nk is None:
+            pytest.skip("native tier unavailable")
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        expected = 3 if nk.has_openmp else 1
+        assert fresh_dispatch.resolve_threads() == expected
+        with fresh_dispatch.thread_override(None):
+            auto = fresh_dispatch.resolve_threads()
+            assert auto == (nk.openmp_max_threads() if nk.has_openmp else 1)
+            assert auto >= 1
+
+    def test_status_reports_thread_fields(self, monkeypatch, fresh_dispatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "5")
+        status = fresh_dispatch.status()
+        assert status["threads_env"] == "5"
+        assert status["requested_threads"] == 5
+        assert status["resolved_threads"] >= 1
+        assert set(status["kernels"]) == {
+            "grid_scan", "brute_block", "bvh_sphere", "confirm_pairs",
+            "uf_union_edges",
+        }
+        if status["active"]:
+            assert status["variant"] in ("omp", "serial")
+            assert status["openmp"] is (status["variant"] == "omp")
+
+    def test_spec_validates_native_threads(self):
+        from repro.api.spec import ClustererSpec
+
+        spec = ClustererSpec(algo="rt-dbscan", eps=0.3, min_pts=5, native_threads=2)
+        spec.resolve()
+        assert spec.as_dict()["native_threads"] == 2
+        with pytest.raises(ValueError, match="native_threads"):
+            ClustererSpec(algo="rt-dbscan", eps=0.3, min_pts=5, native_threads=0)
+        with pytest.raises(ValueError, match="native_threads"):
+            ClustererSpec(
+                algo="classic", eps=0.3, min_pts=5, native_threads=2
+            ).resolve()

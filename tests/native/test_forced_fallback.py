@@ -28,7 +28,9 @@ MIN_PTS = 8
 
 @pytest.mark.skipif(not dispatch.available(), reason="native kernel tier unavailable")
 class TestFallbackIsExact:
-    @pytest.mark.parametrize("backend", ("grid", "brute", "rt"))
+    @pytest.mark.parametrize(
+        "backend", ("grid", "brute", "rt", "kdtree", "lsh", "sampled")
+    )
     def test_env_disabled_matches_native(self, monkeypatch, backend):
         pts = generate("blobs", 700, seed=11)
         eps = calibrate_eps(pts, MIN_PTS, 0.30)
@@ -81,6 +83,57 @@ print("OK")
             capture_output=True,
             text=True,
             timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+
+class TestNoOpenMPFallback:
+    def test_serial_variant_builds_and_matches(self):
+        """REPRO_NATIVE_NO_OPENMP=1 must select the serial C build — still the
+        native tier, still byte-identical — not collapse to numpy.
+
+        Run in a subprocess: the variant is chosen at first kernel load, so
+        this process (which may hold the OpenMP build) cannot flip it.
+        """
+        code = """
+import numpy as np
+from repro.bench.experiments import calibrate_eps
+from repro.data.registry import generate
+from repro.dbscan.rt_dbscan import RTDBSCAN
+from repro.native import dispatch
+
+nk = dispatch.kernels()
+assert nk is not None, dispatch.status()
+status = dispatch.status()
+assert status["variant"] == "serial", status
+assert status["openmp"] is False, status
+assert not nk.has_openmp
+assert nk.resolve_threads() == 1
+# A serial build honours thread requests by clamping them to 1.
+with dispatch.thread_override(6):
+    assert nk.resolve_threads() == 1
+
+pts = generate("blobs", 700, seed=11)
+eps = calibrate_eps(pts, 8, 0.30)
+native_r = RTDBSCAN(eps=eps, min_pts=8, backend="grid", native=True).fit(pts)
+numpy_r = RTDBSCAN(eps=eps, min_pts=8, backend="grid", native=False).fit(pts)
+assert native_r.extra["kernel_tier"] == "native"
+assert np.array_equal(native_r.labels, numpy_r.labels)
+for pa, pb in zip(native_r.report.phases, numpy_r.report.phases):
+    assert pa.counts.as_dict() == pb.counts.as_dict(), pa.name
+print("OK")
+"""
+        env = dict(os.environ, REPRO_NATIVE_NO_OPENMP="1", PYTHONPATH="src")
+        env.pop("REPRO_NATIVE", None)
+        env.pop("REPRO_NATIVE_THREADS", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
         )
         assert proc.returncode == 0, proc.stderr
         assert "OK" in proc.stdout

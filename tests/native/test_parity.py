@@ -25,7 +25,11 @@ from repro.native import dispatch
 from repro.partition.tiled import TiledRTDBSCAN
 from repro.streaming.engine import StreamingRTDBSCAN
 
-NATIVE_BACKENDS = ("grid", "brute", "rt")
+#: Exact native-capable backends: valid in every pipeline (incl. tiled).
+NATIVE_BACKENDS = ("grid", "brute", "rt", "kdtree")
+#: The approximate tier is native-capable too, but the tiled pipeline
+#: refuses inexact backends, so it only joins the monolithic/CSR matrices.
+ALL_NATIVE_BACKENDS = NATIVE_BACKENDS + ("lsh", "sampled")
 MIN_PTS = 8
 
 pytestmark = pytest.mark.skipif(
@@ -59,7 +63,7 @@ def assert_results_identical(a, b):
 
 
 class TestMonolithicParity:
-    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_NATIVE_BACKENDS)
     def test_labels_and_counts_identical(self, dataset, backend):
         _, pts, eps = dataset
         numpy_r = RTDBSCAN(eps=eps, min_pts=MIN_PTS, backend=backend, native=False).fit(pts)
@@ -118,7 +122,7 @@ class TestStreamingParity:
 class TestBackendCsrParity:
     """The raw neighbour surface: byte-identical canonical CSR per backend."""
 
-    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_NATIVE_BACKENDS)
     def test_self_query_csr(self, dataset, backend):
         _, pts, eps = dataset
         per_tier = {}
@@ -139,7 +143,7 @@ class TestBackendCsrParity:
         assert cs0.counts.as_dict() == cs1.counts.as_dict()
         assert qs0.counts.as_dict() == qs1.counts.as_dict()
 
-    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    @pytest.mark.parametrize("backend", ALL_NATIVE_BACKENDS)
     def test_external_query_csr(self, dataset, backend):
         _, pts, eps = dataset
         queries = pts[::3] + eps / 7.0  # off-lattice external query points

@@ -29,7 +29,7 @@ pytestmark = pytest.mark.skipif(
     not dispatch.available(), reason="native kernel tier unavailable"
 )
 
-backends = st.sampled_from(("grid", "brute", "rt"))
+backends = st.sampled_from(("grid", "brute", "rt", "kdtree"))
 seeds = st.integers(min_value=0, max_value=2**16)
 sizes = st.integers(min_value=2, max_value=160)
 # eps as a quantile of realised pairwise distances: 0 undershoots every
@@ -65,3 +65,52 @@ def test_native_tier_is_invisible(backend, seed, n, q, min_pts):
     native_r = RTDBSCAN(eps=eps, min_pts=min_pts, backend=backend, native=True).fit(pts)
     assert native_r.extra["kernel_tier"] == "native"
     assert_results_identical(numpy_r, native_r)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    backend=backends,
+    seed=seeds,
+    n=sizes,
+    q=eps_quantiles,
+    min_pts=min_pts_values,
+    nthreads=st.sampled_from((1, 2, 3, 5)),
+)
+def test_thread_count_is_invisible(backend, seed, n, q, min_pts, nthreads):
+    """Per-thread CSR fragments merge in query order: any thread count must
+    reproduce the single-thread bytes exactly.  On a serial build (or a
+    1-core box) every request resolves to 1 thread, which still pins the
+    resolution path; multi-core CI exercises the real fan-out."""
+    pts = _dataset(seed, n)
+    eps = _eps_at_quantile(pts, q)
+    one = RTDBSCAN(
+        eps=eps, min_pts=min_pts, backend=backend, native=True, native_threads=1
+    ).fit(pts)
+    many = RTDBSCAN(
+        eps=eps, min_pts=min_pts, backend=backend, native=True, native_threads=nthreads
+    ).fit(pts)
+    assert one.extra["kernel_tier"] == "native"
+    assert many.extra["kernel_tier"] == "native"
+    assert_results_identical(one, many)
+
+
+def test_thread_env_matches_override():
+    """REPRO_NATIVE_THREADS and the native_threads= override resolve through
+    the same path and must agree byte-for-byte."""
+    import os
+
+    pts = _dataset(9, 120)
+    eps = _eps_at_quantile(pts, 55)
+    via_param = RTDBSCAN(
+        eps=eps, min_pts=4, backend="grid", native=True, native_threads=3
+    ).fit(pts)
+    old = os.environ.get("REPRO_NATIVE_THREADS")
+    os.environ["REPRO_NATIVE_THREADS"] = "3"
+    try:
+        via_env = RTDBSCAN(eps=eps, min_pts=4, backend="grid", native=True).fit(pts)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_NATIVE_THREADS", None)
+        else:
+            os.environ["REPRO_NATIVE_THREADS"] = old
+    assert_results_identical(via_param, via_env)

@@ -109,13 +109,14 @@ class TestCountParity:
 
         # Host backends derive candidates from data volume, so tiling can
         # only shrink them (each shard's index covers its local set).  The
-        # RT backend's candidate count is BVH-shape dependent — per-tile
-        # trees pack differently — so it is only bounded within rounding.
+        # rt and kdtree backends charge real tree-traversal candidates,
+        # which are BVH/kd-tree-shape dependent — per-tile trees pack
+        # differently — so they are only bounded within rounding.
         ref_candidates = sum(
             p.counts.distance_computations + p.counts.intersection_calls
             for p in ref.report.phases
         )
-        if backend == "rt":
+        if backend in ("rt", "kdtree"):
             assert tile_total <= 1.25 * ref_candidates
         else:
             assert tile_total <= ref_candidates

@@ -203,7 +203,8 @@ class TestListCommand:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "lsh" in out and "sampled" in out
-        assert "[approximate]" in out
+        # The approx tier is also native-capable since the parallel-tier PR.
+        assert "[approximate, native]" in out
 
     def test_native_capable_entries_are_tagged(self, capsys):
         assert main(["list"]) == 0
