@@ -463,6 +463,20 @@ def run_perf(args: argparse.Namespace, payload: dict) -> None:
           f"wall speedup {svc['wall_speedup_vs_serial']:.2f}x vs serial, "
           f"labels_match={svc['labels_match']}", flush=True)
 
+    # Durability cost curve: checkpoint write / restore latency vs window
+    # size, with the restore-parity bit that keeps the numbers honest.
+    from repro.bench.experiments import run_recovery_experiment
+
+    print("[bench] perf checkpoint write/restore latency ...", flush=True)
+    rec = run_recovery_experiment()
+    payload["perf"]["service_recovery"] = rec
+    for row in rec["rows"]:
+        print(f"[bench]   window={row['window']:<5} "
+              f"bytes={row['checkpoint_bytes']:<7} "
+              f"write={row['write_seconds'] * 1e3:.2f}ms "
+              f"restore={row['restore_seconds'] * 1e3:.2f}ms "
+              f"labels_match={row['labels_match']}", flush=True)
+
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
         base_records = base.get("perf", {}).get("records", [])

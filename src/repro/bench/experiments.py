@@ -39,6 +39,7 @@ __all__ = [
     "run_streaming",
     "run_streaming_experiment",
     "run_service_experiment",
+    "run_recovery_experiment",
 ]
 
 
@@ -787,6 +788,88 @@ def run_service_experiment(
         "batching_factor": total_chunks / max(batches, 1),
         "wall_speedup_vs_serial": serial_wall / max(service_wall, 1e-9),
         "simulated_speedup_vs_serial": serial_sim / max(service_sim, 1e-9),
+    }
+
+
+def run_recovery_experiment(
+    *,
+    window_sizes: tuple[int, ...] = (200, 600, 1200),
+    chunk_size: int = 100,
+    eps: float = 0.35,
+    min_pts: int = 5,
+    seed: int = 2023,
+    repeats: int = 3,
+    backend: str = "grid",
+) -> dict:
+    """Durability cost curve: checkpoint write / restore latency vs window size.
+
+    For each window size, fills a :class:`StreamingRTDBSCAN` to capacity from
+    the deterministic drift-blobs stream, then measures three things over
+    ``repeats`` rounds (medians reported):
+
+    * ``snapshot_seconds`` — engine state → plain-JSON snapshot dict;
+    * ``write_seconds`` — snapshot → CRC-framed checkpoint file through
+      :class:`~repro.service.store.SnapshotStore` (atomic tmp+rename+fsync);
+    * ``restore_seconds`` — file → verified record →
+      :meth:`StreamingRTDBSCAN.restore` replaying the window.
+
+    Each row also carries the checkpoint file size and a parity bit (restored
+    labels must equal the donor's), so a perf snapshot that shows restore
+    getting cheap never hides it getting *wrong*.
+    """
+    import tempfile
+    import time as _time
+
+    from ..service.store import SnapshotStore
+    from ..streaming import StreamingRTDBSCAN
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="rtdbscan-recovery-") as tmp:
+        store = SnapshotStore(tmp)
+        for window in window_sizes:
+            num_chunks = -(-window // chunk_size) + 2  # fill past capacity
+            stream = make_stream("drift-blobs", num_chunks=num_chunks,
+                                 chunk_size=chunk_size, seed=seed)
+            engine = StreamingRTDBSCAN(eps=eps, min_pts=min_pts, window=window,
+                                       backend=backend)
+            for chunk in stream:
+                engine.update(chunk)
+            donor_labels = engine.result().labels.tolist()
+
+            snapshot_s, write_s, restore_s = [], [], []
+            parity = True
+            tenant = f"w{window}"
+            for _ in range(repeats):
+                t0 = _time.perf_counter()
+                snapshot = engine.snapshot()
+                snapshot_s.append(_time.perf_counter() - t0)
+
+                t0 = _time.perf_counter()
+                path = store.save(tenant, snapshot)
+                write_s.append(_time.perf_counter() - t0)
+
+                t0 = _time.perf_counter()
+                record = store.load(tenant)
+                resumed = StreamingRTDBSCAN.restore(record["snapshot"])
+                restore_s.append(_time.perf_counter() - t0)
+                parity = parity and resumed.result().labels.tolist() == donor_labels
+
+            rows.append({
+                "window": int(window),
+                "window_points": int(engine.result().labels.shape[0]),
+                "backend": backend,
+                "checkpoint_bytes": int(path.stat().st_size),
+                "snapshot_seconds": float(np.median(snapshot_s)),
+                "write_seconds": float(np.median(write_s)),
+                "restore_seconds": float(np.median(restore_s)),
+                "labels_match": bool(parity),
+            })
+    return {
+        "chunk_size": int(chunk_size),
+        "eps": float(eps),
+        "min_pts": int(min_pts),
+        "repeats": int(repeats),
+        "rows": rows,
     }
 
 

@@ -98,8 +98,18 @@ SERVE_EPILOG = textwrap.dedent(
       # {"op": "shutdown"} request
       rt-dbscan serve --eps 0.3 --min-pts 5 --port 0 --max-requests 16
 
+      # durable sessions: evicted/idle windows spill to --state-dir as
+      # checksummed checkpoints, tenants restore transparently on their
+      # next request, and a crashed server restarts warm
+      rt-dbscan serve --eps 0.3 --min-pts 5 --window 2000 \\
+          --state-dir /var/lib/rt-dbscan --checkpoint-interval 30
+
+      # offline integrity sweep of a state dir (no server started)
+      rt-dbscan serve --restore-check /var/lib/rt-dbscan
+
     The wire protocol is one JSON object per line; ops are ingest,
-    query_labels, snapshot, evict, stats and shutdown, e.g.:
+    query_labels, snapshot, evict, stats, metrics (Prometheus text),
+    checkpoint and shutdown, e.g.:
 
       {"op": "ingest", "tenant": "feed-a", "points": [[0.1, 0.2], ...]}
       {"op": "query_labels", "tenant": "feed-a"}
@@ -243,9 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-requests", type=int, default=None,
                          help="shut down after serving N requests (default: run until "
                               "a shutdown request arrives)")
-    p_serve.add_argument("--eps", type=float, required=True,
-                         help="DBSCAN eps shared by every tenant session")
-    p_serve.add_argument("--min-pts", type=int, required=True, help="DBSCAN minPts")
+    p_serve.add_argument("--eps", type=float, default=None,
+                         help="DBSCAN eps shared by every tenant session "
+                              "(required unless --restore-check)")
+    p_serve.add_argument("--min-pts", type=int, default=None,
+                         help="DBSCAN minPts (required unless --restore-check)")
     p_serve.add_argument("--window", type=int, default=None,
                          help="per-session sliding-window size in points "
                               "(default: grow unbounded)")
@@ -266,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-presize", action="store_true",
                          help="disable for_feed slot-buffer pre-sizing from the "
                               "tenant's first chunk")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="durable session state: evicted/idle sessions spill "
+                              "checksummed checkpoints here and restore on the "
+                              "tenant's next request (default: state is dropped)")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="background checkpoint cadence for live sessions "
+                              "(default 30; 0 disables; needs --state-dir)")
+    p_serve.add_argument("--restore-check", default=None, metavar="DIR",
+                         help="offline diagnostic: verify every checkpoint in DIR "
+                              "(header, CRC32, snapshot schema) and exit without "
+                              "starting a server")
 
     # -- experiment ------------------------------------------------------ #
     p_exp = sub.add_parser("experiment", help="regenerate one of the paper's tables/figures")
@@ -421,11 +445,37 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_restore_check(state_dir: str) -> int:
+    """Offline checkpoint integrity sweep (``serve --restore-check``)."""
+    from .service import verify_checkpoint_dir
+
+    reports = verify_checkpoint_dir(state_dir, deep=True)
+    if not reports:
+        print(f"no checkpoints found in {state_dir}")
+        return 0
+    bad = 0
+    for report in reports:
+        if report["ok"]:
+            print(f"ok      {report['tenant']:<24} window={report['window_points']:<8} "
+                  f"backend={report['backend']}  {report['path']}")
+        else:
+            bad += 1
+            print(f"CORRUPT {report['tenant']:<24} {report['path']}: {report['error']}")
+    print(f"{len(reports) - bad}/{len(reports)} checkpoint(s) verified")
+    return 0 if bad == 0 else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so the service layer (asyncio machinery) only loads for
     # the subcommand that needs it.
     from .service import ServiceConfig, run_server
 
+    if args.restore_check is not None:
+        return _cmd_restore_check(args.restore_check)
+    if args.eps is None or args.min_pts is None:
+        print("error: --eps and --min-pts are required to start the server "
+              "(only --restore-check runs without them)", file=sys.stderr)
+        return 2
     params = {"window": args.window} if args.window is not None else {}
     try:
         config = ServiceConfig(
@@ -436,6 +486,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue_chunks=args.max_queue_chunks,
             max_batch_chunks=args.max_batch_chunks,
             presize=not args.no_presize,
+            state_dir=args.state_dir,
+            checkpoint_interval_s=(
+                args.checkpoint_interval if args.checkpoint_interval > 0 else None
+            ),
         )
         return run_server(
             config,

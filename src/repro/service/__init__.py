@@ -16,7 +16,15 @@ in a long-lived asyncio service:
 * :mod:`repro.service.service`  — :class:`ClusteringService`, the in-process
   ``await service.submit(...)`` front door;
 * :mod:`repro.service.metrics`  — per-tenant ingest rates, queue depths,
-  batch sizes, eviction counts and p50/p99 update latencies;
+  batch sizes, eviction counts and p50/p99 update latencies, plus the
+  Prometheus text exposition behind the ``metrics`` op;
+* :mod:`repro.service.store`    — crash-safe checkpoint files (atomic
+  writes, CRC32 verification, corrupt-file quarantine) that make evicted
+  sessions durable and server restarts warm;
+* :mod:`repro.service.faults`   — deterministic fault injection wired into
+  the session workers, the sweeper and the store for chaos tests;
+* :mod:`repro.service.client`   — the retrying TCP client (backoff +
+  jitter, busy-backpressure handling, idempotent-safe resends);
 * :mod:`repro.service.tcp`      — the stdlib TCP/JSON-lines front-end behind
   the ``rt-dbscan serve`` CLI subcommand.
 
@@ -26,11 +34,19 @@ sessions serialise their own updates, and micro-batch coalescing preserves
 arrival order, which is the only thing the engine's labelling depends on.
 """
 
+from .client import AmbiguousRequestError, RetriesExhaustedError, RetryPolicy, ServiceClient
 from .config import DEFAULT_SPEC, ServiceConfig
+from .faults import FAULT_SITES, FaultInjector, FaultPlan, InjectedFault
 from .metrics import LatencyWindow, ServiceMetrics, SessionMetrics
 from .protocol import OPS, ProtocolError, Request, Response, decode_line, encode_line
 from .service import ClusteringService
 from .session import CapacityError, Session, SessionError, SessionManager
+from .store import (
+    CheckpointError,
+    CorruptCheckpointError,
+    SnapshotStore,
+    verify_checkpoint_dir,
+)
 from .tcp import TCPFrontend, run_server
 
 __all__ = [
@@ -52,4 +68,16 @@ __all__ = [
     "SessionManager",
     "TCPFrontend",
     "run_server",
+    "SnapshotStore",
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "verify_checkpoint_dir",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "FAULT_SITES",
+    "ServiceClient",
+    "RetryPolicy",
+    "RetriesExhaustedError",
+    "AmbiguousRequestError",
 ]

@@ -1,0 +1,264 @@
+"""Retrying JSON-lines TCP client for the clustering service.
+
+:class:`ServiceClient` is the reference client for the ``rt-dbscan serve``
+front-end: a blocking stdlib-socket client that turns the service's failure
+modes into one coherent retry discipline —
+
+* **backpressure**: a ``busy`` reply is not an error; the client sleeps at
+  least the server's ``retry_after_s`` hint (the hint floors the backoff)
+  and resends.  Resending after ``busy`` is always safe, for every op: the
+  server received the request, *refused* it, and changed no state.
+* **transport faults**: timeouts and dropped connections reconnect and
+  retry with capped exponential backoff plus deterministic jitter
+  (``RetryPolicy.seed`` pins the schedule for tests).
+* **idempotent-safe resends**: if the connection dies *after* a request was
+  sent but *before* its reply arrived, the outcome is unknown.  Reads and
+  admin ops (``query_labels``, ``snapshot``, ``stats``, ``metrics``,
+  ``checkpoint``, ``evict``) are safe to resend blind.  ``ingest`` is not —
+  a lost ack may mean the chunk *was* folded in, and resending would
+  double-ingest it — so the client raises :class:`AmbiguousRequestError`
+  unless the caller opts into at-least-once delivery with
+  ``resend_unacked=True``.
+
+Typical use::
+
+    with ServiceClient("127.0.0.1", port) as client:
+        client.ingest("tenant-a", chunk)
+        labels = client.query_labels("tenant-a").body["labels"]
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+from .protocol import ProtocolError, Response, decode_line, encode_line
+
+__all__ = [
+    "ServiceClient",
+    "RetryPolicy",
+    "RetriesExhaustedError",
+    "AmbiguousRequestError",
+]
+
+
+class RetriesExhaustedError(RuntimeError):
+    """Every attempt failed; ``last_response``/``last_error`` hold the cause."""
+
+    def __init__(self, message: str, *, last_response: Response | None = None,
+                 last_error: Exception | None = None):
+        super().__init__(message)
+        self.last_response = last_response
+        self.last_error = last_error
+
+
+class AmbiguousRequestError(RuntimeError):
+    """A non-idempotent request was sent but its outcome is unknown.
+
+    Raised when the connection died between send and reply on an ``ingest``:
+    the chunk may or may not have been accepted, so a blind resend could
+    double-ingest it.  Callers that prefer at-least-once delivery construct
+    the client with ``resend_unacked=True`` instead.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/timeout schedule for :class:`ServiceClient`.
+
+    ``base_backoff_s * multiplier**attempt`` capped at ``max_backoff_s``,
+    floored by the server's ``retry_after_s`` hint on busy replies, then
+    spread by ``±jitter`` (a fraction of the delay; ``seed`` makes the
+    jitter deterministic).  ``timeout_s`` is the per-attempt socket timeout
+    covering connect, send and the reply read.
+    """
+
+    max_attempts: int = 6
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    timeout_s: float = 10.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    def backoff(self, attempt: int, rng: random.Random, *, floor: float = 0.0) -> float:
+        delay = min(self.max_backoff_s, self.base_backoff_s * self.multiplier ** attempt)
+        delay = max(delay, floor)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+class ServiceClient:
+    """Blocking JSON-lines client with reconnect + retry (see module docs).
+
+    ``sleep`` is injectable so tests can assert the backoff schedule without
+    waiting it out.  The counters (``retries``, ``busy_retries``,
+    ``reconnects``) mirror what the server-side metrics see from the other
+    end of the wire.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy | None = None,
+        resend_unacked: bool = False,
+        sleep=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.policy = policy or RetryPolicy()
+        self.resend_unacked = resend_unacked
+        self._sleep = sleep
+        self._rng = random.Random(self.policy.seed)
+        self._sock: socket.socket | None = None
+        self._file = None
+        self.retries = 0        #: resends after transport faults
+        self.busy_retries = 0   #: resends after busy backpressure
+        self.reconnects = 0     #: connections re-established
+
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.policy.timeout_s
+            )
+            self._sock = sock
+            self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _teardown(self) -> None:
+        self.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def request(self, payload: dict, *, idempotent: bool = True) -> Response:
+        """Send one request dict, retrying per the policy; returns the reply.
+
+        Raises :class:`RetriesExhaustedError` once the attempt budget is
+        spent and :class:`AmbiguousRequestError` for an unacked
+        non-idempotent send (unless ``resend_unacked``).  Error replies are
+        returned, not raised — they are the server's answer, and resending
+        an invalid request cannot make it valid.
+        """
+        policy = self.policy
+        last_response: Response | None = None
+        last_error: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            sent = False
+            try:
+                if self._sock is None and attempt > 0:
+                    self.reconnects += 1
+                self.connect()
+                self._sock.sendall(encode_line(payload))
+                sent = True
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = Response.from_dict(decode_line(line))
+            except (OSError, ConnectionError, ProtocolError, KeyError) as exc:
+                self._teardown()
+                last_error = exc
+                if sent and not idempotent and not self.resend_unacked:
+                    raise AmbiguousRequestError(
+                        "connection lost after a non-idempotent request was "
+                        "sent; its outcome is unknown (pass resend_unacked=True "
+                        f"for at-least-once delivery): {exc}"
+                    ) from exc
+                if attempt + 1 < policy.max_attempts:
+                    self.retries += 1
+                    self._sleep(policy.backoff(attempt, self._rng))
+                continue
+            if response.busy:
+                last_response = response
+                if attempt + 1 < policy.max_attempts:
+                    self.busy_retries += 1
+                    floor = float(response.retry_after_s or 0.0)
+                    self._sleep(policy.backoff(attempt, self._rng, floor=floor))
+                continue
+            return response
+        raise RetriesExhaustedError(
+            f"request {payload.get('op', '?')!r} failed after "
+            f"{policy.max_attempts} attempt(s)",
+            last_response=last_response, last_error=last_error,
+        )
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, tenant: str, points, *, request_id=None) -> Response:
+        payload: dict = {
+            "op": "ingest", "tenant": tenant,
+            "points": points if isinstance(points, list) else points.tolist(),
+        }
+        if request_id is not None:
+            payload["request_id"] = request_id
+        return self.request(payload, idempotent=False)
+
+    def query_labels(self, tenant: str, *, request_id=None) -> Response:
+        return self._simple("query_labels", tenant=tenant, request_id=request_id)
+
+    def snapshot(self, tenant: str, *, request_id=None) -> Response:
+        return self._simple("snapshot", tenant=tenant, request_id=request_id)
+
+    def evict(self, tenant: str, *, request_id=None) -> Response:
+        return self._simple("evict", tenant=tenant, request_id=request_id)
+
+    def stats(self, *, request_id=None) -> Response:
+        return self._simple("stats", request_id=request_id)
+
+    def checkpoint(self, tenant: str | None = None, *, request_id=None) -> Response:
+        return self._simple("checkpoint", tenant=tenant, request_id=request_id)
+
+    def shutdown(self, *, request_id=None) -> Response:
+        return self._simple("shutdown", request_id=request_id)
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus exposition text (the scrape endpoint)."""
+        response = self._simple("metrics")
+        if not response.ok:
+            raise RetriesExhaustedError(
+                f"metrics op failed: {response.error}", last_response=response
+            )
+        return response.body.get("text", "")
+
+    def _simple(self, op: str, *, tenant: str | None = None, request_id=None) -> Response:
+        payload: dict = {"op": op}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if request_id is not None:
+            payload["request_id"] = request_id
+        return self.request(payload, idempotent=True)

@@ -65,6 +65,18 @@ class ServiceConfig:
     latency_window:
         Number of recent per-update wall latencies kept per session for the
         p50/p99 stats.
+    state_dir:
+        Directory for durable session state.  When set, evicted idle
+        sessions *spill* their engine snapshot to a checksummed checkpoint
+        file instead of dropping the window, the tenant's next request
+        transparently restores it, and a background task re-checkpoints
+        live sessions every ``checkpoint_interval_s`` so a crashed server
+        restarts warm.  ``None`` (the default) keeps the pre-durability
+        behaviour: eviction drops the window.
+    checkpoint_interval_s:
+        Cadence of the background checkpoint task (only meaningful with
+        ``state_dir``).  ``None`` disables periodic checkpointing while
+        keeping spill-on-evict and restore-on-demand.
     """
 
     spec: ClustererSpec = field(default_factory=lambda: DEFAULT_SPEC)
@@ -77,6 +89,8 @@ class ServiceConfig:
     retry_after_s: float = 0.05
     presize: bool = True
     latency_window: int = 512
+    state_dir: str | None = None
+    checkpoint_interval_s: float | None = 30.0
 
     def __post_init__(self) -> None:
         for name in ("max_sessions", "max_queue_chunks", "max_batch_chunks",
@@ -91,6 +105,12 @@ class ServiceConfig:
             raise ValueError(f"sweep_interval_s must be positive, got {self.sweep_interval_s}")
         if self.retry_after_s < 0:
             raise ValueError(f"retry_after_s must be non-negative, got {self.retry_after_s}")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError(
+                f"checkpoint_interval_s must be positive or None, got {self.checkpoint_interval_s}"
+            )
+        if self.state_dir is not None:
+            object.__setattr__(self, "state_dir", str(self.state_dir))
 
     def as_dict(self) -> dict:
         return {
@@ -104,4 +124,6 @@ class ServiceConfig:
             "retry_after_s": self.retry_after_s,
             "presize": self.presize,
             "latency_window": self.latency_window,
+            "state_dir": self.state_dir,
+            "checkpoint_interval_s": self.checkpoint_interval_s,
         }

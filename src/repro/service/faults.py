@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the service layer.
+
+Chaos tests are only worth running when they drive the *real* code paths, so
+instead of monkeypatching internals, the session worker, the TTL sweeper and
+the checkpoint store each call :meth:`FaultInjector.fire` at a named fault
+point on their hot path.  A test (or a chaos CI job) arms a
+:class:`FaultPlan` per site — "the 3rd engine update raises", "every store
+write fails with ENOSPC", "the next checkpoint is torn mid-write" — and the
+production code reacts exactly as it would to the organic failure.
+
+Plans are counter-driven (``after`` passes skipped, then ``times`` firings),
+so a fixed test scenario injects the same faults at the same points on every
+run — no randomness, no timing races.
+
+Fault sites wired into the service:
+
+=================== =====================================================
+site                effect when armed
+=================== =====================================================
+``session.update``  fires inside the session worker just before the
+                    engine update: an armed error fails the session (the
+                    worker-crash path), an armed ``delay_s`` stalls the
+                    update (the slow-update / client-timeout path)
+``sweep``           fires at the top of a TTL sweep pass (the sweeper
+                    must survive and keep sweeping)
+``store.write``     fires before a checkpoint write: an armed ``OSError``
+                    models a full / read-only disk
+``store.corrupt``   fires after a checkpoint write lands: the finished
+                    file is truncated or bit-flipped (a torn write the
+                    next load must quarantine)
+``store.read``      fires before a checkpoint read (restore-path I/O
+                    failures)
+=================== =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultInjector", "FaultPlan", "InjectedFault", "FAULT_SITES"]
+
+#: every fault point the service layer calls into (see the table above).
+FAULT_SITES = (
+    "session.update",
+    "sweep",
+    "store.write",
+    "store.corrupt",
+    "store.read",
+)
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by an armed fault point."""
+
+
+@dataclass
+class FaultPlan:
+    """One armed fault: when it triggers and what it does.
+
+    ``after`` passes through the site are let through untouched, then the
+    plan fires on the next ``times`` passes (``times=None`` keeps firing
+    forever).  A firing sleeps ``delay_s`` (if set), then raises ``error``
+    (if set); ``corrupt`` is interpreted by the checkpoint store
+    (``"truncate"`` / ``"flip"`` / ``"header"``).
+    """
+
+    site: str
+    error: Exception | None = None
+    delay_s: float = 0.0
+    times: int | None = 1
+    after: int = 0
+    corrupt: str | None = None
+    calls: int = 0
+    fired: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+@dataclass
+class FaultInjector:
+    """Registry of armed :class:`FaultPlan` values, fired by site name.
+
+    An injector with nothing armed is free: ``fire`` is a dict miss.  The
+    same injector instance is shared by the service, its session manager,
+    workers and checkpoint store, so one test arms one object and every
+    layer sees it.
+    """
+
+    plans: dict[str, FaultPlan] = field(default_factory=dict)
+    #: ordered record of every firing (site names), for test assertions.
+    log: list[str] = field(default_factory=list)
+
+    def arm(
+        self,
+        site: str,
+        *,
+        error: Exception | None = None,
+        delay_s: float = 0.0,
+        times: int | None = 1,
+        after: int = 0,
+        corrupt: str | None = None,
+    ) -> FaultPlan:
+        """Arm ``site``; returns the plan (inspect ``fired`` afterwards).
+
+        With no explicit effect (no ``error``, no delay, no corruption) the
+        plan defaults to raising :class:`InjectedFault` — the common "make
+        this step blow up" spelling.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}; valid sites: {list(FAULT_SITES)}")
+        if error is None and delay_s == 0.0 and corrupt is None:
+            error = InjectedFault(f"injected fault at {site}")
+        plan = FaultPlan(
+            site=site, error=error, delay_s=delay_s, times=times, after=after,
+            corrupt=corrupt,
+        )
+        self.plans[site] = plan
+        return plan
+
+    def disarm(self, site: str) -> None:
+        self.plans.pop(site, None)
+
+    def fired(self, site: str) -> int:
+        plan = self.plans.get(site)
+        return plan.fired if plan is not None else 0
+
+    def fire(self, site: str) -> FaultPlan | None:
+        """One pass through ``site``: trigger the armed plan, if any.
+
+        Returns the plan when it fired without raising (so the caller can
+        read ``corrupt``), ``None`` when nothing is armed or the plan is
+        outside its firing window.  Raises ``plan.error`` when one is set.
+        """
+        plan = self.plans.get(site)
+        if plan is None:
+            return None
+        plan.calls += 1
+        if plan.calls <= plan.after or plan.exhausted:
+            return None
+        plan.fired += 1
+        self.log.append(site)
+        if plan.delay_s:
+            time.sleep(plan.delay_s)
+        if plan.error is not None:
+            raise plan.error
+        return plan

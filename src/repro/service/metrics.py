@@ -24,11 +24,13 @@ class LatencyWindow:
         self._buf = np.zeros(self.capacity, dtype=np.float64)
         self._next = 0
         self.count = 0  #: total observations ever (not just retained ones)
+        self.total = 0.0  #: running sum over all observations ever
 
     def observe(self, seconds: float) -> None:
         self._buf[self._next] = seconds
         self._next = (self._next + 1) % self.capacity
         self.count += 1
+        self.total += float(seconds)
 
     def values(self) -> np.ndarray:
         return self._buf[: min(self.count, self.capacity)]
@@ -137,6 +139,19 @@ class ServiceMetrics:
         self.points_ingested = 0
         self.batches = 0
         self.update_failures = 0
+        # Durability: spill/restore/checkpoint outcomes (all zero when the
+        # service runs without a state_dir).
+        self.sessions_spilled = 0
+        self.sessions_dropped = 0
+        self.tenant_evictions: dict[str, int] = {}  # tenant -> evictions
+        self.tenant_spills: dict[str, int] = {}     # tenant -> successful spills
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        self.checkpoints_corrupt = 0  # files quarantined on load
+        self.sessions_restored = 0
+        self.restore_failures = 0
+        self.checkpoint_latency = LatencyWindow(128)
+        self.restore_latency = LatencyWindow(128)
 
     # ------------------------------------------------------------------ #
     def observe_request(self, op: str) -> None:
@@ -162,6 +177,36 @@ class ServiceMetrics:
     def observe_update_failure(self) -> None:
         self.update_failures += 1
 
+    # ------------------------------------------------------- durability -- #
+    def observe_spill(self, tenant: str, wall_s: float) -> None:
+        self.sessions_spilled += 1
+        self.tenant_spills[tenant] = self.tenant_spills.get(tenant, 0) + 1
+        self.checkpoints_written += 1
+        self.checkpoint_latency.observe(wall_s)
+
+    def observe_drop(self, tenant: str) -> None:
+        self.sessions_dropped += 1
+
+    def observe_tenant_eviction(self, tenant: str) -> None:
+        self.tenant_evictions[tenant] = self.tenant_evictions.get(tenant, 0) + 1
+
+    def observe_checkpoint(self, wall_s: float) -> None:
+        self.checkpoints_written += 1
+        self.checkpoint_latency.observe(wall_s)
+
+    def observe_checkpoint_failure(self) -> None:
+        self.checkpoint_failures += 1
+
+    def observe_checkpoint_corrupt(self) -> None:
+        self.checkpoints_corrupt += 1
+
+    def observe_restore(self, wall_s: float) -> None:
+        self.sessions_restored += 1
+        self.restore_latency.observe(wall_s)
+
+    def observe_restore_failure(self) -> None:
+        self.restore_failures += 1
+
     # ------------------------------------------------------------------ #
     @property
     def total_evictions(self) -> int:
@@ -183,4 +228,114 @@ class ServiceMetrics:
             "update_failures": self.update_failures,
             "mean_batch_chunks": self.chunks_ingested / self.batches if self.batches else 0.0,
             "ingest_rate_pts_per_s": self.points_ingested / uptime if uptime > 0 else 0.0,
+            "sessions_spilled": self.sessions_spilled,
+            "sessions_dropped": self.sessions_dropped,
+            "tenant_evictions": dict(self.tenant_evictions),
+            "tenant_spills": dict(self.tenant_spills),
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_failures": self.checkpoint_failures,
+            "checkpoints_corrupt": self.checkpoints_corrupt,
+            "sessions_restored": self.sessions_restored,
+            "restore_failures": self.restore_failures,
+            "checkpoint_latency": self.checkpoint_latency.as_dict(),
+            "restore_latency": self.restore_latency.as_dict(),
         }
+
+    # ------------------------------------------------------------------ #
+    def render_prometheus(self, now: float, *, num_sessions: int | None = None) -> str:
+        """The service counters in Prometheus text exposition format.
+
+        One self-contained string (``# HELP``/``# TYPE`` comments, one
+        sample per line) so the service's ``metrics`` protocol op — or any
+        sidecar that fetches it — can feed a standard scraper without an
+        extra client library.
+        """
+        lines: list[str] = []
+
+        def metric(name: str, kind: str, help_: str, samples: list[tuple[dict, float]]) -> None:
+            lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                label_str = ""
+                if labels:
+                    pairs = ",".join(
+                        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+                    )
+                    label_str = "{" + pairs + "}"
+                value = float(value)
+                rendered = str(int(value)) if value == int(value) else repr(value)
+                lines.append(f"{name}{label_str} {rendered}")
+
+        def summary(name: str, help_: str, window: LatencyWindow) -> None:
+            metric(
+                name, "summary", help_,
+                [({"quantile": "0.5"}, window.percentile(50)),
+                 ({"quantile": "0.99"}, window.percentile(99))],
+            )
+            lines.append(f"{name}_sum {repr(window.total)}")
+            lines.append(f"{name}_count {window.count}")
+
+        uptime = now - self.started_at if self.started_at is not None else 0.0
+        metric("rtdbscan_uptime_seconds", "gauge",
+               "Seconds since the service started.", [({}, uptime)])
+        if num_sessions is not None:
+            metric("rtdbscan_sessions", "gauge",
+                   "Currently live tenant sessions.", [({}, num_sessions)])
+        metric("rtdbscan_requests_total", "counter", "Requests served, by op.",
+               [({"op": op}, n) for op, n in sorted(self.requests.items())])
+        metric("rtdbscan_errors_total", "counter",
+               "Requests answered with an error status.", [({}, self.errors)])
+        metric("rtdbscan_chunks_rejected_total", "counter",
+               "Ingest chunks refused with busy backpressure (client retries).",
+               [({}, self.chunks_rejected)])
+        metric("rtdbscan_chunks_ingested_total", "counter",
+               "Chunks folded into engines.", [({}, self.chunks_ingested)])
+        metric("rtdbscan_points_ingested_total", "counter",
+               "Points folded into engines.", [({}, self.points_ingested)])
+        metric("rtdbscan_update_failures_total", "counter",
+               "Engine updates that raised (session failed).",
+               [({}, self.update_failures)])
+        metric("rtdbscan_sessions_created_total", "counter",
+               "Sessions created (fresh builds, not restores).",
+               [({}, self.sessions_created)])
+        metric("rtdbscan_sessions_evicted_total", "counter",
+               "Sessions evicted, by reason.",
+               [({"reason": r}, n) for r, n in sorted(self.sessions_evicted.items())])
+        metric("rtdbscan_sessions_spilled_total", "counter",
+               "Evictions whose window was checkpointed to the state dir.",
+               [({}, self.sessions_spilled)])
+        metric("rtdbscan_sessions_dropped_total", "counter",
+               "Evictions whose window was lost (no store, failed session, or spill error).",
+               [({}, self.sessions_dropped)])
+        metric("rtdbscan_tenant_evictions_total", "counter",
+               "Evictions by tenant.",
+               [({"tenant": t}, n) for t, n in sorted(self.tenant_evictions.items())])
+        metric("rtdbscan_tenant_spills_total", "counter",
+               "Successful spills by tenant.",
+               [({"tenant": t}, n) for t, n in sorted(self.tenant_spills.items())])
+        metric("rtdbscan_checkpoints_written_total", "counter",
+               "Checkpoint files written (spills + periodic checkpoints).",
+               [({}, self.checkpoints_written)])
+        metric("rtdbscan_checkpoint_failures_total", "counter",
+               "Checkpoint writes that failed (disk errors).",
+               [({}, self.checkpoint_failures)])
+        metric("rtdbscan_checkpoints_corrupt_total", "counter",
+               "Checkpoint files that failed verification and were quarantined.",
+               [({}, self.checkpoints_corrupt)])
+        metric("rtdbscan_sessions_restored_total", "counter",
+               "Sessions rebuilt from a checkpoint on a tenant's request.",
+               [({}, self.sessions_restored)])
+        metric("rtdbscan_restore_failures_total", "counter",
+               "Restore attempts that failed (tenant started fresh).",
+               [({}, self.restore_failures)])
+        summary("rtdbscan_checkpoint_write_seconds",
+                "Wall time of checkpoint writes.", self.checkpoint_latency)
+        summary("rtdbscan_restore_seconds",
+                "Wall time of session restores (load + window replay).",
+                self.restore_latency)
+        return "\n".join(lines) + "\n"
+
+
+def _escape_label(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

@@ -15,6 +15,10 @@ op              effect
 ``snapshot``    drain, then return the engine's full snapshot record
 ``evict``       drain, tear the session down (``release()`` the scene)
 ``stats``       service-level and per-tenant metrics
+``metrics``     service counters in Prometheus text exposition format
+                (scrape-friendly SLO metrics)
+``checkpoint``  drain, then checkpoint one tenant (or, with no tenant,
+                every live session) to the service's state dir
 ``shutdown``    drain everything, tear all sessions down, stop the
                 server loop (admin op for the TCP front-end)
 =============== ======================================================
@@ -42,7 +46,8 @@ __all__ = [
 ]
 
 #: every operation the service understands.
-OPS = ("ingest", "query_labels", "snapshot", "evict", "stats", "shutdown")
+OPS = ("ingest", "query_labels", "snapshot", "evict", "stats", "metrics",
+       "checkpoint", "shutdown")
 
 #: ops that address one tenant's session (and therefore require ``tenant``).
 _TENANT_OPS = frozenset({"ingest", "query_labels", "snapshot", "evict"})
@@ -107,6 +112,14 @@ class Request:
     @classmethod
     def stats(cls, *, request_id=None) -> "Request":
         return cls(op="stats", request_id=request_id)
+
+    @classmethod
+    def metrics(cls, *, request_id=None) -> "Request":
+        return cls(op="metrics", request_id=request_id)
+
+    @classmethod
+    def checkpoint(cls, tenant: str | None = None, *, request_id=None) -> "Request":
+        return cls(op="checkpoint", tenant=tenant, request_id=request_id)
 
     @classmethod
     def shutdown(cls, *, request_id=None) -> "Request":

@@ -26,7 +26,9 @@ import numpy as np
 
 from ..api.registry import make_streaming_clusterer
 from .config import ServiceConfig
+from .faults import FaultInjector
 from .metrics import ServiceMetrics, SessionMetrics
+from .store import CheckpointError, CorruptCheckpointError, SnapshotStore
 
 __all__ = ["Session", "SessionManager", "CapacityError", "SessionError"]
 
@@ -52,11 +54,20 @@ class Session:
         *,
         clock: Callable[[], float] = time.monotonic,
         service_metrics: ServiceMetrics | None = None,
+        faults: FaultInjector | None = None,
+        restored: bool = False,
     ) -> None:
         self.tenant = tenant
         self.engine = engine
         self.config = config
         self._clock = clock
+        self._faults = faults
+        #: True when this session was rebuilt from a spilled checkpoint.
+        self.restored = restored
+        #: spill outcome, set by the manager at eviction: None while live,
+        #: then True (window checkpointed) or False (window dropped).
+        self.spilled: bool | None = None
+        self.spill_error: str | None = None
         self.metrics = SessionMetrics(tenant, clock(), latency_window=config.latency_window)
         self._service_metrics = service_metrics
 
@@ -175,6 +186,11 @@ class Session:
             try:
                 points = batch[0] if len(batch) == 1 else np.vstack(batch)
                 t0 = time.perf_counter()
+                if self._faults is not None:
+                    # Chaos hook: an armed error takes the same failed-session
+                    # path as an organic engine exception; an armed delay
+                    # models a slow update (and shows up in the latency ring).
+                    self._faults.fire("session.update")
                 self._update(points)
                 wall = time.perf_counter() - t0
                 self.metrics.observe_batch(len(batch), points.shape[0], wall, self._clock())
@@ -239,6 +255,9 @@ class Session:
             now, queue_depth=self.queue_depth, queued_points=self._queued_points
         )
         payload["error"] = self.error
+        payload["restored"] = self.restored
+        payload["spilled"] = self.spilled
+        payload["spill_error"] = self.spill_error
         summary = getattr(self.engine, "summary", None)
         if summary is not None:
             payload["engine"] = summary()
@@ -254,20 +273,25 @@ class SessionManager:
         *,
         clock: Callable[[], float] = time.monotonic,
         metrics: ServiceMetrics | None = None,
+        store: SnapshotStore | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.config = config
         self._clock = clock
         self.metrics = metrics or ServiceMetrics()
+        self.store = store
+        self.faults = faults
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         # Fail fast on a batch-only template (instead of at first ingest):
         # resolve() also validates backend/knob consistency.
-        entry, _ = config.spec.resolve()
+        entry, backend = config.spec.resolve()
         if not entry.supports_partial_fit:
             raise ValueError(
                 f"service spec algorithm {entry.name!r} does not support "
                 "partial_fit; use a streaming-capable algorithm"
             )
         self._engine_entry = entry
+        self._engine_backend = backend
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -301,6 +325,15 @@ class SessionManager:
             # a steady feed never pays a growth-forced rebuild.  A feed that
             # outgrows the estimate just falls back to geometric growth.
             params = dict(spec.params)
+            if self._engine_backend is not None:
+                # The spec's neighbour backend (including the "algo@backend"
+                # spelling) must survive the presize shortcut, which bypasses
+                # the registry factory that would normally plumb it through.
+                params.setdefault("backend", self._engine_backend)
+            if spec.native is not None:
+                params.setdefault("native", spec.native)
+            if spec.native_threads is not None:
+                params.setdefault("native_threads", spec.native_threads)
             return StreamingRTDBSCAN.for_feed(
                 first_chunk,
                 spec.eps,
@@ -324,33 +357,118 @@ class SessionManager:
         session = self.get(tenant)
         if session is not None:
             return session, False
-        if len(self._sessions) >= self.config.max_sessions:
-            victim = next(
-                (t for t, s in self._sessions.items() if s.idle), None
-            )
-            if victim is None:
-                raise CapacityError(
-                    f"session pool is full ({self.config.max_sessions} busy sessions)"
-                )
-            self.evict(victim, reason="lru")
-        session = Session(tenant, self._build_engine(first_chunk), self.config,
-                          clock=self._clock, service_metrics=self.metrics)
-        self._sessions[tenant] = session
-        self.metrics.observe_session_created()
+        session = self.restore_session(tenant)
+        if session is None:
+            self._make_room()
+            session = Session(tenant, self._build_engine(first_chunk), self.config,
+                              clock=self._clock, service_metrics=self.metrics,
+                              faults=self.faults)
+            self._sessions[tenant] = session
+            self.metrics.observe_session_created()
         return session, True
+
+    def _make_room(self) -> None:
+        """Ensure the pool has a free slot, LRU-evicting an idle session."""
+        if len(self._sessions) < self.config.max_sessions:
+            return
+        victim = next(
+            (t for t, s in self._sessions.items() if s.idle), None
+        )
+        if victim is None:
+            raise CapacityError(
+                f"session pool is full ({self.config.max_sessions} busy sessions)"
+            )
+        self.evict(victim, reason="lru")
+
+    def restore_session(self, tenant: str) -> Session | None:
+        """Rebuild the tenant's session from its spilled checkpoint, if any.
+
+        Returns ``None`` when there is no store, no checkpoint, or the
+        checkpoint cannot be used (corrupt files are quarantined by the
+        store; restore failures are counted) — the caller then treats the
+        tenant as fresh.  May raise :class:`CapacityError` exactly like a
+        fresh create.
+        """
+        if self.store is None or self._engine_entry.name != "streaming-rt-dbscan":
+            return None
+        path = self.store.path_for(tenant)
+        if not path.exists():
+            return None
+        from ..streaming.engine import StreamingRTDBSCAN
+
+        t0 = time.perf_counter()
+        try:
+            record = self.store.load(tenant)
+            engine = StreamingRTDBSCAN.restore(record["snapshot"])
+        except CorruptCheckpointError as exc:
+            # The store already moved the file into quarantine/; the tenant
+            # starts fresh and the bad bytes stay on disk for forensics.
+            logger.warning("checkpoint for tenant %r quarantined: %s", tenant, exc)
+            self.metrics.observe_checkpoint_corrupt()
+            self.metrics.observe_restore_failure()
+            return None
+        except (CheckpointError, ValueError, KeyError, TypeError) as exc:
+            logger.warning("restore for tenant %r failed: %s; starting fresh", tenant, exc)
+            self.metrics.observe_restore_failure()
+            return None
+        self._make_room()
+        session = Session(tenant, engine, self.config, clock=self._clock,
+                          service_metrics=self.metrics, faults=self.faults,
+                          restored=True)
+        self._sessions[tenant] = session
+        self.metrics.observe_restore(time.perf_counter() - t0)
+        return session
 
     # ------------------------------------------------------------------ #
     def evict(self, tenant: str, *, reason: str = "explicit") -> Session | None:
-        """Remove and close a session; returns it (already released) or None."""
+        """Remove and close a session; returns it (already released) or None.
+
+        With a store attached, TTL/LRU/shutdown evictions *spill* the
+        engine's snapshot to disk first (the tenant's next request restores
+        it); an explicit evict is a tenant reset, so its checkpoint is
+        deleted instead.  The outcome lands on the returned session
+        (``spilled`` / ``spill_error``) and in the service metrics.
+        """
         session = self._sessions.pop(tenant, None)
         if session is None:
             return None
+        if self.store is not None and reason == "explicit":
+            self.store.delete(tenant)
+        if self.store is not None and reason != "explicit":
+            session.spilled, session.spill_error = self._spill(session)
+        else:
+            session.spilled = False
         session.close()
         self.metrics.observe_eviction(reason)
+        self.metrics.observe_tenant_eviction(tenant)
+        if not session.spilled:
+            self.metrics.observe_drop(tenant)
         return session
+
+    def _spill(self, session: Session) -> tuple[bool, str | None]:
+        """Checkpoint one session's window; returns (spilled, error)."""
+        snapshot = getattr(session.engine, "snapshot", None)
+        if snapshot is None:
+            return False, "engine does not support snapshot"
+        if session.error is not None:
+            return False, f"session failed ({session.error}); window not trusted"
+        t0 = time.perf_counter()
+        try:
+            self.store.save(session.tenant, snapshot())
+        except CheckpointError as exc:
+            logger.warning("spill for tenant %r failed: %s; window dropped",
+                           session.tenant, exc)
+            self.metrics.observe_checkpoint_failure()
+            return False, str(exc)
+        self.metrics.observe_spill(session.tenant, time.perf_counter() - t0)
+        return True, None
 
     def sweep(self, now: float | None = None) -> list[Session]:
         """Evict every idle session older than the TTL; returns the evicted."""
+        if self.faults is not None:
+            # Chaos hook: an armed error propagates into the service's sweep
+            # loop, which must log it and keep sweeping.
+            self.faults.fire("sweep")
         ttl = self.config.session_ttl_s
         if ttl is None:
             return []

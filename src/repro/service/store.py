@@ -1,0 +1,255 @@
+"""Crash-safe checkpoint store for streaming sessions.
+
+A :class:`SnapshotStore` owns a state directory holding one checkpoint file
+per tenant.  Each file is a one-line header followed by a UTF-8 JSON payload
+(the engine snapshot wrapped with the tenant id and a save timestamp)::
+
+    rt-dbscan-ckpt v1 crc32=1a2b3c4d len=8421\n
+    {"tenant": ..., "saved_at": ..., "snapshot": {...}}
+
+The header pins the format version, the payload byte length, and a CRC32 over
+the payload bytes, so a torn or bit-rotted file is detected before any of it
+is fed to :meth:`StreamingRTDBSCAN.restore`.  Writes are crash-safe: the
+payload lands in a same-directory temp file, is flushed and fsynced, then
+atomically renamed over the target — a crash at any point leaves either the
+old checkpoint or the new one, never a hybrid.
+
+Files that fail verification on load are moved to a ``quarantine/``
+subdirectory (never deleted, never retried) and :class:`CorruptCheckpointError`
+is raised; the caller treats the tenant as fresh.  Tenant ids map to
+filenames by percent-encoding, so any id round-trips losslessly through
+:meth:`tenants`.
+
+The store fires the ``store.write`` / ``store.corrupt`` / ``store.read``
+fault sites (see :mod:`repro.service.faults`) so chaos tests can model a full
+disk or a torn write without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.parse
+import zlib
+from pathlib import Path
+
+from .faults import FaultInjector
+
+__all__ = [
+    "SnapshotStore",
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "verify_checkpoint_dir",
+]
+
+CHECKPOINT_MAGIC = "rt-dbscan-ckpt"
+CHECKPOINT_VERSION = 1
+_SUFFIX = ".ckpt"
+_QUARANTINE = "quarantine"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint file failed integrity verification.
+
+    ``path`` is the offending file; after :meth:`SnapshotStore.load`
+    quarantines it, ``quarantined`` holds its new location.
+    """
+
+    def __init__(self, path: Path, reason: str, quarantined: Path | None = None):
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = path
+        self.reason = reason
+        self.quarantined = quarantined
+
+
+class SnapshotStore:
+    """Atomic, checksummed, per-tenant checkpoint files under ``root``."""
+
+    def __init__(self, root: str | Path, *, faults: FaultInjector | None = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.faults = faults if faults is not None else FaultInjector()
+
+    # ------------------------------------------------------------------ paths
+
+    def path_for(self, tenant: str) -> Path:
+        return self.root / (urllib.parse.quote(tenant, safe="") + _SUFFIX)
+
+    @staticmethod
+    def tenant_of(path: Path) -> str:
+        return urllib.parse.unquote(path.name[: -len(_SUFFIX)])
+
+    def paths(self) -> list[Path]:
+        return sorted(p for p in self.root.glob(f"*{_SUFFIX}") if p.is_file())
+
+    def tenants(self) -> list[str]:
+        return [self.tenant_of(p) for p in self.paths()]
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE
+
+    # ------------------------------------------------------------------ write
+
+    def save(self, tenant: str, snapshot: dict) -> Path:
+        """Atomically persist ``snapshot`` for ``tenant``; returns the path.
+
+        Raises :class:`CheckpointError` on I/O failure (including an armed
+        ``store.write`` fault); the previous checkpoint, if any, survives.
+        """
+        record = {"tenant": tenant, "saved_at": time.time(), "snapshot": snapshot}
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        header = (
+            f"{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} "
+            f"crc32={zlib.crc32(payload) & 0xFFFFFFFF:08x} len={len(payload)}\n"
+        ).encode("ascii")
+        path = self.path_for(tenant)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            self.faults.fire("store.write")
+            with open(tmp, "wb") as fh:
+                fh.write(header)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise CheckpointError(f"failed to write checkpoint for {tenant!r}: {exc}") from exc
+        finally:
+            tmp.unlink(missing_ok=True)
+        plan = self.faults.fire("store.corrupt")
+        if plan is not None:
+            _corrupt_file(path, plan.corrupt or "truncate")
+        return path
+
+    # ------------------------------------------------------------------- read
+
+    def load(self, tenant: str) -> dict | None:
+        """Return the verified record for ``tenant`` or ``None`` if absent.
+
+        A file that fails verification is moved into ``quarantine/`` and
+        :class:`CorruptCheckpointError` (with ``quarantined`` set) is raised.
+        """
+        path = self.path_for(tenant)
+        if not path.exists():
+            return None
+        try:
+            self.faults.fire("store.read")
+            return self.verify(path)
+        except CorruptCheckpointError as exc:
+            exc.quarantined = self.quarantine(path)
+            raise
+        except OSError as exc:
+            raise CheckpointError(f"failed to read checkpoint for {tenant!r}: {exc}") from exc
+
+    def verify(self, path: Path) -> dict:
+        """Verify header + checksum of ``path`` and return the decoded record.
+
+        Pure read: never moves the file (``load`` adds quarantining on top).
+        Raises :class:`CorruptCheckpointError` with the failure reason.
+        """
+        path = Path(path)
+        with open(path, "rb") as fh:
+            header = fh.readline(256)
+            body = fh.read()
+        fields = header.decode("ascii", errors="replace").split()
+        if len(fields) != 4 or fields[0] != CHECKPOINT_MAGIC or not header.endswith(b"\n"):
+            raise CorruptCheckpointError(path, "bad header")
+        if fields[1] != f"v{CHECKPOINT_VERSION}":
+            raise CorruptCheckpointError(path, f"unsupported version {fields[1]!r}")
+        try:
+            crc = int(fields[2].removeprefix("crc32="), 16)
+            length = int(fields[3].removeprefix("len="))
+        except ValueError:
+            raise CorruptCheckpointError(path, "malformed header fields") from None
+        if len(body) != length:
+            raise CorruptCheckpointError(
+                path, f"payload length {len(body)} != declared {length} (truncated write?)"
+            )
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise CorruptCheckpointError(path, "crc32 mismatch")
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptCheckpointError(path, f"payload not valid JSON: {exc}") from None
+        if not isinstance(record, dict) or "snapshot" not in record:
+            raise CorruptCheckpointError(path, "payload missing snapshot section")
+        return record
+
+    # -------------------------------------------------------------- lifecycle
+
+    def delete(self, tenant: str) -> bool:
+        path = self.path_for(tenant)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def quarantine(self, path: Path) -> Path:
+        """Move a bad file into ``quarantine/`` (unique name, never clobbers)."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / (path.name + ".corrupt")
+        n = 1
+        while dest.exists():
+            dest = qdir / f"{path.name}.corrupt.{n}"
+            n += 1
+        os.replace(path, dest)
+        return dest
+
+
+def _corrupt_file(path: Path, mode: str) -> None:
+    """Damage a finished checkpoint in place (fault injection only)."""
+    data = path.read_bytes()
+    if mode == "truncate":
+        data = data[: max(1, len(data) // 2)]
+    elif mode == "flip":
+        mid = len(data) // 2
+        data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1 :]
+    elif mode == "header":
+        data = b"not-a-checkpoint\n" + data
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path.write_bytes(data)
+
+
+def verify_checkpoint_dir(root: str | Path, *, deep: bool = True) -> list[dict]:
+    """Offline integrity sweep of a state directory (``--restore-check``).
+
+    Returns one report dict per ``*.ckpt`` file: ``{"path", "tenant", "ok"}``
+    plus either ``"error"`` or checkpoint details (window size, backend,
+    saved_at).  With ``deep=True`` the engine-level snapshot schema is also
+    validated via :meth:`StreamingRTDBSCAN.validate_snapshot`.  Never moves
+    or modifies files.
+    """
+    from ..streaming.engine import StreamingRTDBSCAN
+
+    store = SnapshotStore(root)
+    reports: list[dict] = []
+    for path in store.paths():
+        report: dict = {"path": str(path), "tenant": store.tenant_of(path)}
+        try:
+            record = store.verify(path)
+            snapshot = record["snapshot"]
+            if deep:
+                sec = StreamingRTDBSCAN.validate_snapshot(snapshot)
+            else:
+                sec = snapshot.get("engine", {}) if isinstance(snapshot, dict) else {}
+            report.update(
+                ok=True,
+                saved_at=record.get("saved_at"),
+                window_points=len(sec.get("points", [])),
+                backend=sec.get("backend"),
+            )
+        except (CheckpointError, ValueError, KeyError, TypeError) as exc:
+            report.update(ok=False, error=str(exc))
+        reports.append(report)
+    return reports

@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api.protocol import ClustererMixin
-from ..api.registry import register_algorithm
+from ..api.registry import get_backend, register_algorithm
 from ..dbscan.disjoint_set import ParallelDisjointSet
 from ..native import dispatch as native_dispatch
 from ..dbscan.params import NOISE, DBSCANParams, DBSCANResult, canonicalize_labels
@@ -56,9 +56,13 @@ from ..perf.cost_model import OpCounts
 from ..perf.timing import ExecutionReport, PhaseTimer
 from ..rtcore.device import RTDevice
 from .policy import RefitPolicy
-from .scene import StreamingScene
+from .scene import HostStreamingScene, StreamingScene
 
-__all__ = ["StreamingRTDBSCAN", "StreamUpdate"]
+__all__ = ["StreamingRTDBSCAN", "StreamUpdate", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION"]
+
+#: identity + schema version of the engine section of :meth:`StreamingRTDBSCAN.snapshot`.
+SNAPSHOT_FORMAT = "streaming-rt-dbscan-snapshot"
+SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -126,6 +130,7 @@ class StreamUpdate:
 @register_algorithm(
     "streaming-rt-dbscan",
     description="Incremental RT-DBSCAN over a point stream (sliding window, refit-aware).",
+    supports_backend=True,
     supports_partial_fit=True,
     supports_native=True,
 )
@@ -145,6 +150,12 @@ class StreamingRTDBSCAN(ClustererMixin):
     policy:
         Refit-vs-rebuild policy for scene maintenance (default: cost-model
         driven ``"auto"``).
+    backend:
+        Window-query substrate: ``"rt"`` (default) maintains the ε-sphere
+        BVH scene on the simulated RT device; any exact registered host
+        backend (``"grid"``, ``"kdtree"``, ``"brute"``) answers the same
+        queries through :class:`~repro.streaming.scene.HostStreamingScene`
+        with bit-identical labels.  Approximate backends are refused.
     builder, leaf_size, chunk_size, initial_capacity:
         Scene parameters forwarded to :class:`StreamingScene`.
     native:
@@ -173,6 +184,7 @@ class StreamingRTDBSCAN(ClustererMixin):
         window: int | None = None,
         device: RTDevice | None = None,
         policy: RefitPolicy | None = None,
+        backend: str | None = None,
         builder: str = "lbvh",
         leaf_size: int = 4,
         chunk_size: int = 16384,
@@ -188,14 +200,35 @@ class StreamingRTDBSCAN(ClustererMixin):
         self.window = window
         self.device = device or RTDevice()
         self.policy = policy or RefitPolicy()
-        self.scene = StreamingScene(
-            eps,
-            self.device,
-            builder=builder,
-            leaf_size=leaf_size,
-            chunk_size=chunk_size,
-            initial_capacity=initial_capacity,
-        )
+        self.backend = "rt" if backend is None else get_backend(backend).name
+        self.builder = builder
+        if self.backend == "rt":
+            self.scene = StreamingScene(
+                eps,
+                self.device,
+                builder=builder,
+                leaf_size=leaf_size,
+                chunk_size=chunk_size,
+                initial_capacity=initial_capacity,
+            )
+        else:
+            # Host substrates answer window queries through the registered
+            # neighbour backends.  Only exact backends qualify: the engine's
+            # cached counts are maintained by *incremental deltas*, so an
+            # approximate candidate sweep would silently corrupt them.
+            if not get_backend(self.backend).exact:
+                raise ValueError(
+                    f"streaming-rt-dbscan requires an exact neighbour backend; "
+                    f"{self.backend!r} is approximate"
+                )
+            self.scene = HostStreamingScene(
+                eps,
+                self.device,
+                backend=self.backend,
+                leaf_size=leaf_size,
+                chunk_size=chunk_size,
+                initial_capacity=initial_capacity,
+            )
 
         cap = self.scene.capacity
         self._counts = np.zeros(cap, dtype=np.int64)
@@ -219,6 +252,10 @@ class StreamingRTDBSCAN(ClustererMixin):
         #: owners can assert the exactly-once teardown contract.
         self.num_releases = 0
         self._released = False
+        #: True when this engine was rebuilt from a checkpoint (see
+        #: :meth:`restore`); surfaced in results so serving stats can tell a
+        #: warm-restored session from a fresh one.
+        self.restored = False
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -593,6 +630,8 @@ class StreamingRTDBSCAN(ClustererMixin):
                 "scene": self.scene.summary(),
                 "window_arrivals": self._arrival[win].copy(),
                 "kernel_tier": kernel_tier,
+                "backend": self.backend,
+                "restored": self.restored,
             },
         )
 
@@ -613,9 +652,12 @@ class StreamingRTDBSCAN(ClustererMixin):
         """A JSON-friendly snapshot of the current window state.
 
         Bundles the window labelling with the engine's running totals — the
-        payload the service layer's ``snapshot`` op returns, and a convenient
-        checkpoint record for callers persisting per-feed state.  Arrays come
-        back as plain lists so the snapshot serialises directly.
+        payload the service layer's ``snapshot`` op returns — plus an
+        ``"engine"`` section carrying everything :meth:`restore` needs to
+        rebuild an equivalent engine: constructor parameters, the window
+        points in arrival order, their arrival numbers, and the running
+        totals.  Arrays come back as plain lists so the snapshot serialises
+        directly (the service's checkpoint store writes exactly this dict).
         """
         win = self._window_slots()
         labels, core_mask = self._window_labels(win)
@@ -628,7 +670,130 @@ class StreamingRTDBSCAN(ClustererMixin):
             "window_arrivals": self._arrival[win].tolist(),
             "released": self._released,
             "summary": self.summary(),
+            "engine": {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "eps": float(self.eps),
+                "min_pts": int(self.min_pts),
+                "window": self.window,
+                "backend": self.backend,
+                "builder": self.builder,
+                "leaf_size": int(self.scene.leaf_size),
+                "chunk_size": int(self.scene.chunk_size),
+                "capacity": int(self.scene.capacity),
+                "native": self.native,
+                "native_threads": self.native_threads,
+                "points": self.scene.centers[win].tolist(),
+                "arrivals": self._arrival[win].tolist(),
+                "next_arrival": int(self._next_arrival),
+                "totals": {
+                    "num_updates": self.num_updates,
+                    "points_ingested": self.points_ingested,
+                    "points_evicted": self.points_evicted,
+                    "total_simulated_seconds": self.total_simulated_seconds,
+                    "total_wall_seconds": self.total_wall_seconds,
+                    "counts": self.total_counts.as_dict(),
+                },
+            },
         }
+
+    @classmethod
+    def validate_snapshot(cls, snapshot: dict) -> dict:
+        """Check a snapshot's engine section; returns it or raises ValueError.
+
+        Structural validation only (format tag, schema version, array shape
+        and arrival-order invariants) — cheap enough for the offline
+        ``--restore-check`` diagnostic to run over a whole checkpoint
+        directory without replaying any window.
+        """
+        if not isinstance(snapshot, dict) or "engine" not in snapshot:
+            raise ValueError("snapshot has no 'engine' section (pre-durability record?)")
+        sec = snapshot["engine"]
+        if sec.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"unrecognised snapshot format {sec.get('format')!r}")
+        if sec.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {sec.get('version')!r} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        points = np.asarray(sec.get("points", []), dtype=np.float64)
+        arrivals = np.asarray(sec.get("arrivals", []), dtype=np.int64)
+        if points.size and (points.ndim != 2 or points.shape[1] != 3):
+            raise ValueError(f"snapshot points must be (n, 3), got shape {points.shape}")
+        n = points.shape[0] if points.size else 0
+        if arrivals.shape != (n,):
+            raise ValueError(
+                f"snapshot arrivals length {arrivals.shape} does not match {n} points"
+            )
+        if n and np.any(np.diff(arrivals) <= 0):
+            raise ValueError("snapshot arrivals must be strictly increasing")
+        if n and int(sec.get("next_arrival", -1)) <= int(arrivals[-1]):
+            raise ValueError("snapshot next_arrival must exceed the last window arrival")
+        window = sec.get("window")
+        if window is not None and n > int(window):
+            raise ValueError(f"snapshot window holds {n} points but window={window}")
+        if not np.isfinite(points).all():
+            raise ValueError("snapshot points must be finite")
+        return sec
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        *,
+        device: RTDevice | None = None,
+        policy: RefitPolicy | None = None,
+    ) -> "StreamingRTDBSCAN":
+        """Rebuild an engine from a :meth:`snapshot` record.
+
+        The window points are replayed as one update on a fresh engine —
+        counts, core flags, border anchors and the union–find forest are all
+        pure functions of the live window, so the replay reproduces them
+        exactly — and the arrival numbering is then restored from the
+        snapshot, so every later update (ingest, eviction order, border
+        tie-breaks) proceeds bit-identically to an engine that never
+        stopped.  Raises ``ValueError`` for structurally invalid snapshots.
+        """
+        sec = cls.validate_snapshot(snapshot)
+        points = np.asarray(sec["points"], dtype=np.float64)
+        n = points.shape[0] if points.size else 0
+        engine = cls(
+            sec["eps"],
+            sec["min_pts"],
+            window=sec["window"],
+            device=device,
+            policy=policy,
+            backend=sec.get("backend") or None,
+            builder=sec.get("builder", "lbvh"),
+            leaf_size=sec.get("leaf_size", 4),
+            chunk_size=sec.get("chunk_size", 16384),
+            initial_capacity=max(256, int(sec.get("capacity", 0)), n),
+            native=sec.get("native"),
+            native_threads=sec.get("native_threads"),
+        )
+        if n:
+            engine.update(points)
+            win = engine._window_slots()
+            engine._arrival[win] = np.asarray(sec["arrivals"], dtype=np.int64)
+        engine._next_arrival = int(sec["next_arrival"])
+        totals = sec.get("totals") or {}
+        engine.num_updates = int(totals.get("num_updates", engine.num_updates))
+        engine.points_ingested = int(totals.get("points_ingested", engine.points_ingested))
+        engine.points_evicted = int(totals.get("points_evicted", engine.points_evicted))
+        engine.total_simulated_seconds = float(
+            totals.get("total_simulated_seconds", engine.total_simulated_seconds)
+        )
+        engine.total_wall_seconds = float(
+            totals.get("total_wall_seconds", engine.total_wall_seconds)
+        )
+        counts = totals.get("counts")
+        if counts:
+            engine.total_counts = OpCounts(**{
+                k: int(v) for k, v in counts.items()
+                if k in OpCounts.__dataclass_fields__
+            })
+        engine.restored = True
+        return engine
 
     # ------------------------------------------------------------------ #
     @property

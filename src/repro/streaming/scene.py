@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import make_backend
 from ..geometry.sphere import SphereGeometry
 from ..perf.cost_model import OpCounts
 from ..rtcore.counters import LaunchStats
@@ -33,7 +34,7 @@ from ..rtcore.pipeline import ScenePipeline
 from ..rtcore.programs import ProgramGroup
 from .policy import RefitPolicy
 
-__all__ = ["StreamingScene"]
+__all__ = ["StreamingScene", "HostStreamingScene"]
 
 
 class StreamingScene:
@@ -303,3 +304,108 @@ class StreamingScene:
             "refit_prims_total": self.refit_prims_total,
             "churn_fraction": self.churn_fraction,
         }
+
+
+class HostStreamingScene(StreamingScene):
+    """Slot-buffer window scene answered by a host neighbour backend.
+
+    Same slot-buffer lifecycle as :class:`StreamingScene` (allocate /
+    set_points / deallocate / commit / query), but instead of maintaining an
+    ε-sphere BVH on the simulated RT device, :meth:`commit` rebuilds one of
+    the registered host backends (``grid`` / ``kdtree`` / ``brute``) over the
+    live window and :meth:`query_csr` answers through its external-query
+    sweep.  Because every exact backend returns the canonical ε-adjacency,
+    the streaming engine produces bit-identical labels on this scene and on
+    the RT scene — which is what lets the snapshot/restore parity suite
+    assert recovery on every substrate the engine supports.
+
+    Host index structures have no refit path: any churn since the last
+    commit forces a rebuild (host builds are cheap — the backends charge
+    their own shader-core build costs to the device).
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        device: RTDevice | None = None,
+        *,
+        backend: str = "grid",
+        leaf_size: int = 4,
+        chunk_size: int = 16384,
+        initial_capacity: int = 256,
+        growth_factor: float = 2.0,
+    ) -> None:
+        super().__init__(
+            eps,
+            device,
+            leaf_size=leaf_size,
+            chunk_size=chunk_size,
+            initial_capacity=initial_capacity,
+            growth_factor=growth_factor,
+        )
+        self.backend_name = backend
+        self._backend = None
+        #: slot ids (ascending) the live index was built over; CSR indices
+        #: from the backend are positions into this map.
+        self._slot_map = np.empty(0, dtype=np.intp)
+
+    # ------------------------------------------------------------------ #
+    def commit(self, policy: RefitPolicy) -> tuple[str, float, OpCounts]:
+        """Rebuild the host index over the live window (no refit path)."""
+        if self._backend is not None:
+            self._backend.release()
+            self._backend = None
+        slots = self.active_slots()
+        self._slot_map = slots
+        self._needs_rebuild = False
+        self._churned_since_build = 0
+        if slots.size == 0:
+            return "none", 0.0, OpCounts()
+        self._backend = make_backend(
+            self.backend_name, self.centers[slots], self.eps, device=self.device
+        )
+        self.num_builds += 1
+        self.build_prims_total += int(slots.size)
+        return "rebuild", self._backend.build_seconds, OpCounts(kernel_launches=1)
+
+    def query_csr(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray, LaunchStats]:
+        """External ε-queries against the committed index, self hits removed.
+
+        The backend sweep has no notion of identity for external query
+        points, so the query point's own zero-distance hit comes back and is
+        filtered here — matching the RT scene's ``prim != slots[q]``
+        intersection semantics bit-for-bit.  Indices come back in slot space
+        (ascending per row: the backend CSR is ascending in index space and
+        the slot map is monotone).
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        if slots.size == 0:
+            return np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.intp), LaunchStats()
+        if self._backend is None:
+            if self._slot_map.size == 0 and not self.active.any():
+                # Empty committed window: every query row is empty.
+                return (
+                    np.zeros(slots.size + 1, dtype=np.int64),
+                    np.empty(0, dtype=np.intp),
+                    LaunchStats(),
+                )
+            raise RuntimeError("commit() must run before querying the scene")
+        indptr, indices, stats = self._backend.neighbor_csr(self.centers[slots])
+        mapped = self._slot_map[indices]
+        rows = np.repeat(np.arange(slots.size, dtype=np.intp), np.diff(indptr))
+        keep = mapped != slots[rows]
+        out_indptr = np.zeros(slots.size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows[keep], minlength=slots.size), out=out_indptr[1:])
+        return out_indptr, mapped[keep], stats
+
+    def release(self) -> None:
+        if self._backend is not None:
+            self._backend.release()
+            self._backend = None
+        self._slot_map = np.empty(0, dtype=np.intp)
+        self._needs_rebuild = True
+
+    def summary(self) -> dict:
+        payload = super().summary()
+        payload["backend"] = self.backend_name
+        return payload

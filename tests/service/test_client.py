@@ -1,0 +1,263 @@
+"""Retrying client: backoff schedule, busy handling, idempotent resend rules.
+
+The transport-level behaviours are asserted against a scriptable fake server
+(a plain threaded socket accepting one behaviour per connection), so drops
+and busy replies happen exactly where the test says; one end-to-end test
+drives the real TCPFrontend.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AmbiguousRequestError,
+    ClusteringService,
+    RetriesExhaustedError,
+    RetryPolicy,
+    ServiceClient,
+    TCPFrontend,
+)
+
+
+class ScriptedServer:
+    """One scripted behaviour per accepted request, in order.
+
+    Behaviours: ``"ok"`` (echo an ok reply), ``"busy"`` (busy reply with
+    retry_after_s=0.2), ``"error"`` (typed error reply),
+    ``"drop-before-reply"`` (read the request, close without replying),
+    ``"close-on-accept"`` (close immediately).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []  # decoded request dicts actually received
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        step = 0
+        while step < len(self.script):
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            f = conn.makefile("rb")
+            try:
+                # serve as many script steps as this connection survives
+                while step < len(self.script):
+                    behaviour = self.script[step]
+                    if behaviour == "close-on-accept":
+                        step += 1
+                        break
+                    line = f.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    self.requests.append(request)
+                    step += 1
+                    if behaviour == "drop-before-reply":
+                        break
+                    if behaviour == "busy":
+                        reply = {"status": "busy", "op": request.get("op", "?"),
+                                 "retry_after_s": 0.2}
+                    elif behaviour == "error":
+                        reply = {"status": "error", "op": request.get("op", "?"),
+                                 "error": "unknown tenant 'x'"}
+                    else:
+                        reply = {"status": "ok", "op": request.get("op", "?"),
+                                 "body": {"echo": True}}
+                    conn.sendall((json.dumps(reply) + "\n").encode())
+            finally:
+                # makefile() keeps the fd alive past conn.close(); shut the
+                # socket down hard so a "drop" is visible immediately
+                f.close()
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+
+    def close(self):
+        self._sock.close()
+
+
+def make_client(port, *, sleeps=None, resend_unacked=False, **policy_kw):
+    policy_kw.setdefault("seed", 0)
+    policy_kw.setdefault("base_backoff_s", 0.001)
+    policy_kw.setdefault("timeout_s", 2.0)
+    recorded = sleeps if sleeps is not None else []
+    return ServiceClient(
+        "127.0.0.1", port, policy=RetryPolicy(**policy_kw),
+        resend_unacked=resend_unacked, sleep=recorded.append,
+    ), recorded
+
+
+class TestBusyBackpressure:
+    def test_busy_retries_until_ok(self):
+        server = ScriptedServer(["busy", "busy", "ok"])
+        client, sleeps = make_client(server.port)
+        with client:
+            response = client.stats()
+        assert response.ok
+        assert client.busy_retries == 2
+        assert len(sleeps) == 2
+        server.close()
+
+    def test_busy_sleep_floored_by_retry_after_hint(self):
+        server = ScriptedServer(["busy", "ok"])
+        client, sleeps = make_client(server.port, jitter=0.0)
+        with client:
+            client.stats()
+        # base backoff is 1 ms but the server hinted 200 ms
+        assert sleeps[0] >= 0.2
+        server.close()
+
+    def test_busy_exhaustion_raises_with_last_response(self):
+        server = ScriptedServer(["busy"] * 3)
+        client, _ = make_client(server.port, max_attempts=3)
+        with client:
+            with pytest.raises(RetriesExhaustedError) as excinfo:
+                client.stats()
+        assert excinfo.value.last_response.busy
+        server.close()
+
+    def test_busy_ingest_resend_is_safe(self):
+        # busy = refused, nothing ingested, so even the non-idempotent op
+        # retries through backpressure without an ambiguity error
+        server = ScriptedServer(["busy", "ok"])
+        client, _ = make_client(server.port)
+        with client:
+            response = client.ingest("t", [[0.0, 0.0, 0.0]])
+        assert response.ok
+        assert [r["op"] for r in server.requests] == ["ingest", "ingest"]
+        server.close()
+
+
+class TestTransportFaults:
+    def test_reconnect_and_retry_idempotent_after_drop(self):
+        server = ScriptedServer(["drop-before-reply", "ok"])
+        client, _ = make_client(server.port)
+        with client:
+            response = client.query_labels("t")
+        assert response.ok
+        assert client.retries == 1
+        assert client.reconnects == 1
+        server.close()
+
+    def test_unacked_ingest_raises_ambiguous(self):
+        server = ScriptedServer(["drop-before-reply", "ok"])
+        client, _ = make_client(server.port)
+        with client:
+            with pytest.raises(AmbiguousRequestError, match="resend_unacked"):
+                client.ingest("t", [[0.0, 0.0, 0.0]])
+        server.close()
+
+    def test_resend_unacked_opts_into_at_least_once(self):
+        server = ScriptedServer(["drop-before-reply", "ok"])
+        client, _ = make_client(server.port, resend_unacked=True)
+        with client:
+            response = client.ingest("t", [[0.0, 0.0, 0.0]])
+        assert response.ok
+        assert len(server.requests) == 2
+        server.close()
+
+    def test_exhaustion_after_repeated_drops(self):
+        server = ScriptedServer(["drop-before-reply"] * 3)
+        client, _ = make_client(server.port, max_attempts=3)
+        with client:
+            with pytest.raises(RetriesExhaustedError) as excinfo:
+                client.stats()
+        assert isinstance(excinfo.value.last_error, Exception)
+        server.close()
+
+    def test_error_replies_are_returned_not_retried(self):
+        # An error reply is the server's answer; resending an invalid
+        # request cannot make it valid, so no retry is spent on it.
+        server = ScriptedServer(["error"])
+        client, sleeps = make_client(server.port)
+        with client:
+            response = client.query_labels("x")
+        assert response.status == "error" and "unknown tenant" in response.error
+        assert len(server.requests) == 1
+        assert sleeps == []
+        server.close()
+
+
+class TestBackoffSchedule:
+    def test_deterministic_with_seed(self):
+        import random
+
+        policy = RetryPolicy(seed=42, base_backoff_s=0.1, max_backoff_s=1.0)
+        a = [policy.backoff(i, random.Random(42)) for i in range(4)]
+        b = [policy.backoff(i, random.Random(42)) for i in range(4)]
+        assert a == b
+
+    def test_exponential_growth_capped(self):
+        import random
+
+        policy = RetryPolicy(jitter=0.0, base_backoff_s=0.1, max_backoff_s=0.5)
+        rng = random.Random(0)
+        delays = [policy.backoff(i, rng) for i in range(6)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert max(delays) <= 0.5
+
+    def test_jitter_stays_within_band(self):
+        import random
+
+        policy = RetryPolicy(jitter=0.25, base_backoff_s=0.1, max_backoff_s=10.0, seed=1)
+        rng = random.Random(1)
+        for attempt in range(4):
+            nominal = min(10.0, 0.1 * 2.0 ** attempt)
+            delay = policy.backoff(attempt, rng)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+
+
+class TestEndToEnd:
+    def test_real_server_round_trip(self, make_config, tmp_path):
+        import asyncio
+
+        config = make_config(state_dir=str(tmp_path / "state"),
+                             checkpoint_interval_s=None)
+        ports = []
+
+        async def serve():
+            frontend = TCPFrontend(ClusteringService(config), port=0)
+            await frontend.start()
+            ports.append(frontend.port)
+            await frontend.wait_closed()
+
+        thread = threading.Thread(target=lambda: asyncio.run(serve()), daemon=True)
+        thread.start()
+        while not ports:
+            pass
+        rng = np.random.default_rng(0)
+        client = ServiceClient("127.0.0.1", ports[0],
+                               policy=RetryPolicy(seed=0, base_backoff_s=0.01))
+        with client:
+            assert client.ingest("t", rng.normal(size=(30, 3))).ok
+            labels = client.query_labels("t")
+            assert labels.ok and len(labels.body["labels"]) == 30
+            assert client.checkpoint().body["outcome"]["t"] == "written"
+            text = client.metrics_text()
+            assert "rtdbscan_checkpoints_written_total 1" in text
+            assert client.shutdown().ok
+        thread.join(timeout=5)
+        assert not thread.is_alive()

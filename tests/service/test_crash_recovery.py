@@ -1,0 +1,112 @@
+"""Crash-recovery parity: kill -9 the server, restart warm, labels identical.
+
+The strongest durability claim in the project: a server killed with SIGKILL
+mid-stream and restarted from ``--state-dir`` continues every tenant's feed
+with labels byte-identical to a monolithic :class:`StreamingRTDBSCAN` run
+that never stopped — asserted for every engine-supported backend.  The
+server runs as a real subprocess through the real CLI, so the whole stack
+(argparse → ServiceConfig → TCP → session → store) is on the hook.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service import RetryPolicy, ServiceClient
+from repro.streaming.engine import StreamingRTDBSCAN
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EPS, MIN_PTS, WINDOW = 0.45, 5, 200
+
+
+def make_chunks(seed=101, n_chunks=6, size=45):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.uniform(-1, 1, size=3) + rng.normal(scale=0.3, size=(size, 3)))
+        for _ in range(n_chunks)
+    ]
+
+
+def start_server(tmp_path, backend, tag):
+    port_file = tmp_path / f"port-{tag}.txt"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--eps", str(EPS), "--min-pts", str(MIN_PTS),
+            "--window", str(WINDOW),
+            "--algo", f"streaming-rt-dbscan@{backend}" if backend != "rt"
+            else "streaming-rt-dbscan",
+            "--port", "0", "--port-file", str(port_file),
+            "--state-dir", str(tmp_path / "state"),
+            "--checkpoint-interval", "0",  # the test checkpoints explicitly
+        ],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with {proc.returncode}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise TimeoutError("server did not write its port file")
+        time.sleep(0.02)
+    return proc, int(port_file.read_text().strip())
+
+
+def reference_labels(chunks, backend):
+    engine = StreamingRTDBSCAN(
+        eps=EPS, min_pts=MIN_PTS, window=WINDOW,
+        backend=None if backend == "rt" else backend,
+    )
+    for chunk in chunks:
+        engine.update(chunk)
+    return engine.result().labels.tolist()
+
+
+@pytest.mark.parametrize("backend", ["grid", "kdtree", "brute", "rt"])
+def test_sigkill_restart_replay_is_bit_identical(tmp_path, backend):
+    chunks = make_chunks()
+    policy = RetryPolicy(seed=0, base_backoff_s=0.05, timeout_s=20.0)
+
+    proc, port = start_server(tmp_path, backend, "first")
+    try:
+        with ServiceClient("127.0.0.1", port, policy=policy) as client:
+            for chunk in chunks[:3]:
+                assert client.ingest("feed", chunk).ok
+            # drain + spill everything, then die without any chance to clean up
+            outcome = client.checkpoint()
+            assert outcome.ok and outcome.body["outcome"]["feed"] == "written"
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=10)
+
+    proc, port = start_server(tmp_path, backend, "second")
+    try:
+        with ServiceClient("127.0.0.1", port, policy=policy) as client:
+            for chunk in chunks[3:]:
+                assert client.ingest("feed", chunk).ok
+            response = client.query_labels("feed")
+            assert response.ok
+            labels = response.body["labels"]
+            stats = client.stats()
+            tenant_stats = stats.body["sessions"]["tenants"]["feed"]
+            assert tenant_stats["restored"] is True
+            text = client.metrics_text()
+            assert "rtdbscan_sessions_restored_total 1" in text
+            client.shutdown()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    assert labels == reference_labels(chunks, backend)

@@ -1,0 +1,104 @@
+"""FaultInjector semantics: deterministic, counter-driven, site-scoped."""
+
+import time
+
+import pytest
+
+from repro.service.faults import FAULT_SITES, FaultInjector, InjectedFault
+
+
+class TestArming:
+    def test_default_plan_raises_injected_fault(self):
+        faults = FaultInjector()
+        faults.arm("session.update")
+        with pytest.raises(InjectedFault, match="session.update"):
+            faults.fire("session.update")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultInjector().arm("not.a.site")
+
+    def test_all_documented_sites_armable(self):
+        faults = FaultInjector()
+        for site in FAULT_SITES:
+            faults.arm(site, delay_s=0.0, corrupt="truncate")
+
+    def test_unarmed_site_is_free(self):
+        faults = FaultInjector()
+        assert faults.fire("sweep") is None
+        assert faults.fired("sweep") == 0
+
+
+class TestFiringWindow:
+    def test_times_limits_firings(self):
+        faults = FaultInjector()
+        faults.arm("sweep", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.fire("sweep")
+        assert faults.fire("sweep") is None  # exhausted
+        assert faults.fired("sweep") == 2
+
+    def test_after_skips_initial_passes(self):
+        faults = FaultInjector()
+        faults.arm("store.write", after=2, times=1)
+        assert faults.fire("store.write") is None
+        assert faults.fire("store.write") is None
+        with pytest.raises(InjectedFault):
+            faults.fire("store.write")
+
+    def test_unlimited_firings(self):
+        faults = FaultInjector()
+        faults.arm("sweep", times=None)
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                faults.fire("sweep")
+        assert faults.fired("sweep") == 5
+
+    def test_disarm(self):
+        faults = FaultInjector()
+        faults.arm("sweep")
+        faults.disarm("sweep")
+        assert faults.fire("sweep") is None
+
+    def test_rearm_replaces_plan(self):
+        faults = FaultInjector()
+        faults.arm("sweep", times=1)
+        with pytest.raises(InjectedFault):
+            faults.fire("sweep")
+        faults.arm("sweep", times=1)
+        with pytest.raises(InjectedFault):
+            faults.fire("sweep")
+
+
+class TestEffects:
+    def test_custom_error_raised(self):
+        faults = FaultInjector()
+        faults.arm("store.write", error=OSError(28, "No space left on device"))
+        with pytest.raises(OSError, match="No space"):
+            faults.fire("store.write")
+
+    def test_delay_without_error_returns_plan(self):
+        faults = FaultInjector()
+        faults.arm("session.update", delay_s=0.01)
+        t0 = time.perf_counter()
+        plan = faults.fire("session.update")
+        assert time.perf_counter() - t0 >= 0.01
+        assert plan is not None and plan.fired == 1
+
+    def test_corrupt_plan_returns_mode(self):
+        faults = FaultInjector()
+        faults.arm("store.corrupt", corrupt="flip")
+        plan = faults.fire("store.corrupt")
+        assert plan.corrupt == "flip"
+
+    def test_log_records_firing_order(self):
+        faults = FaultInjector()
+        faults.arm("sweep", times=None)
+        faults.arm("store.corrupt", corrupt="truncate", times=None)
+        with pytest.raises(InjectedFault):
+            faults.fire("sweep")
+        faults.fire("store.corrupt")
+        with pytest.raises(InjectedFault):
+            faults.fire("sweep")
+        assert faults.log == ["sweep", "store.corrupt", "sweep"]

@@ -57,6 +57,8 @@ class TestRequestValidation:
             Request.snapshot("a").op,
             Request.evict("a").op,
             Request.stats().op,
+            Request.metrics().op,
+            Request.checkpoint().op,
             Request.shutdown().op,
         }
         assert built == set(OPS)

@@ -1,0 +1,414 @@
+"""Durable sessions and chaos paths: spill, restore, checkpoints, faults.
+
+Everything here runs in-process against :class:`ClusteringService` with a
+real state dir, so the spill → restore → continue path is exercised through
+the same code the TCP server runs — and every injected fault must degrade
+gracefully: typed error replies, quarantined files, dropped-not-hung
+sessions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ClustererSpec
+from repro.service import (
+    ClusteringService,
+    FaultInjector,
+    InjectedFault,
+    Request,
+)
+from repro.streaming.engine import StreamingRTDBSCAN
+
+EPS, MIN_PTS, WINDOW = 0.4, 5, 250
+
+
+def make_chunks(seed=17, n_chunks=6, size=50):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.uniform(-1, 1, size=3) + rng.normal(scale=0.3, size=(size, 3)))
+        for _ in range(n_chunks)
+    ]
+
+
+def durable_config(make_config, tmp_path, backend=None, **overrides):
+    algo = "streaming-rt-dbscan" if backend is None else f"streaming-rt-dbscan@{backend}"
+    spec = ClustererSpec(algo=algo, eps=EPS, min_pts=MIN_PTS, params={"window": WINDOW})
+    overrides.setdefault("checkpoint_interval_s", None)
+    return make_config(spec=spec, state_dir=str(tmp_path / "state"), **overrides)
+
+
+def reference_labels(chunks, backend=None):
+    engine = StreamingRTDBSCAN(eps=EPS, min_pts=MIN_PTS, window=WINDOW, backend=backend)
+    for chunk in chunks:
+        engine.update(chunk)
+    return engine.result().labels.tolist()
+
+
+async def ingest_all(service, tenant, chunks):
+    for chunk in chunks:
+        response = await service.submit(Request.ingest(tenant, chunk))
+        assert response.ok, response.error
+
+
+class TestSpillRestoreParity:
+    @pytest.mark.parametrize("backend", ["grid", "kdtree", "brute", None])
+    def test_evict_restore_continue_bit_identical(self, run, make_config, tmp_path, backend):
+        chunks = make_chunks()
+        config = durable_config(make_config, tmp_path, backend=backend)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", chunks[:3])
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+                await service._stop_worker("t")
+                evicted = service.sessions.evict("t", reason="ttl")
+                assert evicted.spilled is True and evicted.spill_error is None
+                assert "t" not in service.sessions
+                # the next request transparently restores and streams on
+                await ingest_all(service, "t", chunks[3:])
+                response = await service.submit(Request.query_labels("t"))
+                assert response.ok
+                assert service.sessions.get("t", touch=False).restored is True
+                return response.body["labels"]
+
+        assert run(scenario()) == reference_labels(chunks, backend=backend)
+
+    def test_shutdown_spills_and_restart_is_warm(self, run, make_config, tmp_path):
+        chunks = make_chunks(seed=29)
+        config = durable_config(make_config, tmp_path)
+
+        async def first_life():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", chunks[:4])
+            # context exit = shutdown eviction = spill
+
+        async def second_life():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", chunks[4:])
+                response = await service.submit(Request.query_labels("t"))
+                assert response.ok
+                return response.body["labels"]
+
+        run(first_life())
+        assert run(second_life()) == reference_labels(chunks)
+
+    def test_query_restores_without_ingest(self, run, make_config, tmp_path):
+        chunks = make_chunks(seed=41, n_chunks=3)
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", chunks)
+                before = await service.submit(Request.query_labels("t"))
+            async with ClusteringService(config) as service:
+                after = await service.submit(Request.query_labels("t"))
+                assert after.ok
+                return before.body["labels"], after.body["labels"]
+
+        before, after = run(scenario())
+        assert before == after
+
+    def test_ttl_sweep_spills(self, run, make_config, fake_clock, tmp_path):
+        config = durable_config(make_config, tmp_path, session_ttl_s=5.0)
+
+        async def scenario():
+            service = ClusteringService(config, clock=fake_clock)
+            await service.start()
+            await ingest_all(service, "t", make_chunks(n_chunks=1))
+            session = service.sessions.get("t", touch=False)
+            await session.drain()
+            fake_clock.advance(10.0)
+            evicted = await service.sweep()
+            assert evicted == ["t"]
+            assert service.metrics.sessions_spilled == 1
+            assert service.metrics.sessions_evicted.get("ttl") == 1
+            assert service.store.load("t") is not None
+            await service.aclose()
+
+        run(scenario())
+
+    def test_explicit_evict_deletes_checkpoint(self, run, make_config, tmp_path):
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=2))
+                await service.submit(Request.checkpoint("t"))
+                assert service.store.load("t") is not None
+                response = await service.submit(Request.evict("t"))
+                assert response.body == {"evicted": True, "checkpoint_deleted": True}
+                fresh = await service.submit(Request.query_labels("t"))
+                assert fresh.status == "error" and "unknown tenant" in fresh.error
+
+        run(scenario())
+
+
+class TestCheckpointOp:
+    def test_checkpoint_op_writes_all_sessions(self, run, make_config, tmp_path):
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "a", make_chunks(seed=1, n_chunks=1))
+                await ingest_all(service, "b", make_chunks(seed=2, n_chunks=1))
+                response = await service.submit(Request.checkpoint())
+                assert response.ok
+                assert response.body["outcome"] == {"a": "written", "b": "written"}
+                assert sorted(service.store.tenants()) == ["a", "b"]
+
+        run(scenario())
+
+    def test_checkpoint_without_state_dir_is_typed_error(self, run, make_config):
+        async def scenario():
+            async with ClusteringService(make_config()) as service:
+                response = await service.submit(Request.checkpoint())
+                assert response.status == "error"
+                assert "state_dir" in response.error
+
+        run(scenario())
+
+    def test_periodic_checkpointer_runs(self, run, make_config, tmp_path):
+        config = durable_config(make_config, tmp_path, checkpoint_interval_s=0.05)
+
+        async def scenario():
+            import asyncio
+
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                for _ in range(100):
+                    await asyncio.sleep(0.02)
+                    if service.metrics.checkpoints_written:
+                        break
+                assert service.metrics.checkpoints_written >= 1
+                assert service.store.load("t") is not None
+
+        run(scenario())
+
+
+class TestInjectedFaults:
+    def test_worker_crash_fails_session_not_service(self, run, make_config, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                assert (await service.submit(Request.query_labels("t"))).ok
+                faults.arm("session.update", times=1)
+                assert (await service.submit(
+                    Request.ingest("t", make_chunks(seed=9, n_chunks=1)[0])
+                )).ok  # ack precedes the failing update
+                response = await service.submit(Request.query_labels("t"))
+                assert response.status == "error"
+                assert "session failed" in response.error
+                assert "InjectedFault" in response.error
+                # other tenants are unaffected
+                assert (await service.submit(
+                    Request.ingest("u", make_chunks(seed=10, n_chunks=1)[0])
+                )).ok
+                # evict resets; the tenant works again
+                await service.submit(Request.evict("t"))
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                assert (await service.submit(Request.query_labels("t"))).ok
+                assert service.metrics.update_failures == 1
+
+        run(scenario())
+
+    def test_failed_session_never_spills(self, run, make_config, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                faults.arm("session.update", times=1)
+                await service.submit(Request.ingest("t", make_chunks(n_chunks=1)[0]))
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+                assert session.error is not None
+                await service._stop_worker("t")
+                evicted = service.sessions.evict("t", reason="ttl")
+                assert evicted.spilled is False
+                assert "session failed" in evicted.spill_error
+                assert service.store.load("t") is None
+                assert service.metrics.sessions_dropped == 1
+
+        run(scenario())
+
+    def test_disk_full_spill_drops_but_reports(self, run, make_config, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+                await service._stop_worker("t")
+                faults.arm("store.write", error=OSError(28, "No space left on device"))
+                evicted = service.sessions.evict("t", reason="ttl")
+                assert evicted.spilled is False
+                assert "No space" in evicted.spill_error
+                assert evicted.stats()["spilled"] is False
+                assert service.metrics.checkpoint_failures == 1
+                assert service.metrics.sessions_dropped == 1
+
+        run(scenario())
+
+    def test_corrupt_checkpoint_quarantined_and_fresh_session(
+        self, run, make_config, tmp_path
+    ):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+        chunks = make_chunks(seed=55, n_chunks=2)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                await ingest_all(service, "t", chunks)
+                # times=None: the shutdown spill on context exit re-writes the
+                # checkpoint, and that write must be torn too
+                faults.arm("store.corrupt", corrupt="truncate", times=None)
+                await service.submit(Request.checkpoint("t"))
+            # restart: the torn checkpoint must be quarantined, not trusted
+            async with ClusteringService(config, faults=FaultInjector()) as service:
+                response = await service.submit(
+                    Request.ingest("t", chunks[0])
+                )
+                assert response.ok
+                session = service.sessions.get("t", touch=False)
+                assert session.restored is False  # started fresh
+                assert service.metrics.checkpoints_corrupt == 1
+                assert service.metrics.restore_failures == 1
+                quarantined = list(service.store.quarantine_dir.iterdir())
+                assert len(quarantined) == 1
+
+        run(scenario())
+
+    def test_sweeper_survives_sweep_fault(self, run, make_config, fake_clock, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path, session_ttl_s=5.0)
+
+        async def scenario():
+            service = ClusteringService(config, clock=fake_clock, faults=faults)
+            await service.start()
+            await ingest_all(service, "t", make_chunks(n_chunks=1))
+            await service.sessions.get("t", touch=False).drain()
+            faults.arm("sweep", times=1)
+            with pytest.raises(InjectedFault):
+                await service.sweep()
+            # next pass works: the sweeper path is not poisoned
+            fake_clock.advance(10.0)
+            assert await service.sweep() == ["t"]
+            await service.aclose()
+
+        run(scenario())
+
+    def test_slow_update_shows_in_latency_not_failure(self, run, make_config, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                faults.arm("session.update", delay_s=0.05, times=1)
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                response = await service.submit(Request.query_labels("t"))
+                assert response.ok  # slow, not failed
+                session = service.sessions.get("t", touch=False)
+                assert session.error is None
+                assert session.metrics.latency.as_dict()["max_s"] >= 0.05
+                assert service.metrics.update_failures == 0
+
+        run(scenario())
+
+
+class TestMetricsExposition:
+    def test_metrics_op_renders_prometheus_text(self, run, make_config, tmp_path):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=2))
+                session = service.sessions.get("t", touch=False)
+                await session.drain()
+                await service._stop_worker("t")
+                service.sessions.evict("t", reason="ttl")
+                await service.submit(Request.query_labels("t"))  # restore
+                response = await service.submit(Request.metrics())
+                assert response.ok
+                assert response.body["content_type"].startswith("text/plain")
+                return response.body["text"]
+
+        text = run(scenario())
+        assert "# HELP rtdbscan_requests_total" in text
+        assert "# TYPE rtdbscan_requests_total counter" in text
+        assert 'rtdbscan_requests_total{op="ingest"} 2' in text
+        assert "rtdbscan_sessions_spilled_total 1" in text
+        assert 'rtdbscan_tenant_spills_total{tenant="t"} 1' in text
+        assert 'rtdbscan_tenant_evictions_total{tenant="t"} 1' in text
+        assert "rtdbscan_sessions_restored_total 1" in text
+        assert "rtdbscan_restore_seconds_count 1" in text
+        assert "rtdbscan_checkpoint_write_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self, run, make_config, tmp_path):
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                tenant = 'ten"ant\\weird'
+                await ingest_all(service, tenant, make_chunks(n_chunks=1))
+                session = service.sessions.get(tenant, touch=False)
+                await session.drain()
+                await service._stop_worker(tenant)
+                service.sessions.evict(tenant, reason="ttl")
+                response = await service.submit(Request.metrics())
+                return response.body["text"]
+
+        text = run(scenario())
+        assert 'tenant="ten\\"ant\\\\weird"' in text
+
+    def test_stats_include_store_and_spill_outcome(self, run, make_config, tmp_path):
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config) as service:
+                await ingest_all(service, "t", make_chunks(n_chunks=1))
+                await service.submit(Request.checkpoint())
+                response = await service.submit(Request.stats())
+                assert response.body["store"]["checkpoints"] == 1
+                assert response.body["store"]["quarantined"] == 0
+                tenant_stats = response.body["sessions"]["tenants"]["t"]
+                assert tenant_stats["restored"] is False
+                assert tenant_stats["spilled"] is None  # still live
+                assert "sessions_spilled" in response.body["service"]
+
+        run(scenario())
+
+
+class TestNoLeaks:
+    def test_no_hung_drains_or_leaked_sessions_after_fault_storm(
+        self, run, make_config, tmp_path
+    ):
+        faults = FaultInjector()
+        config = durable_config(make_config, tmp_path)
+
+        async def scenario():
+            async with ClusteringService(config, faults=faults) as service:
+                # crash one tenant's worker, disk-fail another's spill,
+                # serve a third normally
+                faults.arm("session.update", times=1)
+                await service.submit(Request.ingest("crash", make_chunks(seed=1, n_chunks=1)[0]))
+                await ingest_all(service, "ok", make_chunks(seed=2, n_chunks=2))
+                await ingest_all(service, "spillfail", make_chunks(seed=3, n_chunks=1))
+                for tenant in ("crash", "ok", "spillfail"):
+                    await service.sessions.get(tenant, touch=False).drain()
+                faults.arm("store.write", error=OSError(28, "disk full"), times=1)
+                await service._stop_worker("spillfail")
+                service.sessions.evict("spillfail", reason="ttl")
+                assert (await service.submit(Request.query_labels("ok"))).ok
+            # aclose drained and tore everything down without hanging
+            assert len(service.sessions) == 0
+            assert not service._workers
+
+        run(scenario())

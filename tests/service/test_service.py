@@ -184,8 +184,8 @@ class TestEviction:
                 return first, second, session
 
         first, second, session = run(scenario())
-        assert first.ok and first.body == {"evicted": True}
-        assert second.ok and second.body == {"evicted": False}
+        assert first.ok and first.body == {"evicted": True, "checkpoint_deleted": False}
+        assert second.ok and second.body == {"evicted": False, "checkpoint_deleted": False}
         assert session.engine.num_releases == 1
 
 

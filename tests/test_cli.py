@@ -332,6 +332,49 @@ class TestServeCommand:
         assert rc == 2
         assert "partial_fit" in capsys.readouterr().err
 
-    def test_serve_requires_eps_and_min_pts(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_eps_and_min_pts(self, capsys):
+        # optional at the parser level so --restore-check can run alone,
+        # but still mandatory to actually start a server
+        rc = main(["serve", "--port", "0"])
+        assert rc == 2
+        assert "--eps and --min-pts are required" in capsys.readouterr().err
+
+
+class TestRestoreCheck:
+    def _state_dir(self, tmp_path):
+        from repro.service import SnapshotStore
+        from repro.streaming.engine import StreamingRTDBSCAN
+
+        engine = StreamingRTDBSCAN(eps=0.4, min_pts=5, window=120, backend="grid")
+        engine.update(np.random.default_rng(0).normal(size=(80, 3)))
+        store = SnapshotStore(tmp_path / "state")
+        store.save("alpha", engine.snapshot())
+        store.save("beta", engine.snapshot())
+        return store
+
+    def test_all_good_exits_zero(self, tmp_path, capsys):
+        self._state_dir(tmp_path)
+        rc = main(["serve", "--restore-check", str(tmp_path / "state")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2/2 checkpoint(s) verified" in out
+        assert "ok" in out and "alpha" in out and "backend=grid" in out
+
+    def test_corrupt_checkpoint_exits_nonzero(self, tmp_path, capsys):
+        store = self._state_dir(tmp_path)
+        path = store.path_for("beta")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        rc = main(["serve", "--restore-check", str(tmp_path / "state")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "CORRUPT" in out and "beta" in out
+        assert "1/2 checkpoint(s) verified" in out
+        # the diagnostic never moves files; recovery decisions stay manual
+        assert path.exists()
+
+    def test_empty_dir_reports_nothing_to_verify(self, tmp_path, capsys):
+        rc = main(["serve", "--restore-check", str(tmp_path / "empty")])
+        assert rc == 0
+        assert "no checkpoints found" in capsys.readouterr().out
